@@ -1,0 +1,113 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+//
+// Every binary prints a paper-style table to stdout and finishes in seconds:
+// network-scale runs execute in Virtual mode on the simulated device (the
+// analytic time model), kernel-scale micro-benchmarks additionally run real
+// CPU measurements where noted.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ucudnn.h"
+#include "frameworks/caffepp/net.h"
+
+namespace ucudnn::bench {
+
+inline double mib(std::size_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+inline std::shared_ptr<device::Device> make_device(const std::string& name) {
+  if (name == "K80") {
+    return std::make_shared<device::Device>(device::k80_spec());
+  }
+  if (name == "P100-SXM2") {
+    return std::make_shared<device::Device>(device::p100_sxm2_spec());
+  }
+  if (name == "V100-SXM2") {
+    return std::make_shared<device::Device>(device::v100_sxm2_spec());
+  }
+  return std::make_shared<device::Device>(device::host_cpu_spec());
+}
+
+inline core::Options wr_options(std::size_t per_kernel_limit,
+                                core::BatchSizePolicy policy) {
+  core::Options opts;
+  opts.workspace_policy = core::WorkspacePolicy::kWR;
+  opts.batch_size_policy = policy;
+  opts.workspace_limit = per_kernel_limit;
+  return opts;
+}
+
+inline core::Options wd_options(std::size_t total_limit,
+                                core::BatchSizePolicy policy) {
+  core::Options opts;
+  opts.workspace_policy = core::WorkspacePolicy::kWD;
+  opts.batch_size_policy = policy;
+  opts.total_workspace_size = total_limit;
+  return opts;
+}
+
+inline const char* policy_tag(core::BatchSizePolicy policy) {
+  switch (policy) {
+    case core::BatchSizePolicy::kAll: return "a";
+    case core::BatchSizePolicy::kPowerOfTwo: return "p";
+    case core::BatchSizePolicy::kUndivided: return "u";
+  }
+  return "?";
+}
+
+/// AlexNet conv2 on P100: the running example of the paper (§IV-A).
+inline kernels::ConvProblem alexnet_conv2(std::int64_t batch) {
+  return kernels::ConvProblem({batch, 96, 27, 27}, {256, 96, 5, 5},
+                              {.pad_h = 2, .pad_w = 2});
+}
+
+struct NetRun {
+  double total_ms = 0.0;
+  double conv_ms = 0.0;
+  std::vector<caffepp::Net::LayerTime> layers;
+};
+
+/// Times one caffepp network configuration in Virtual mode.
+template <typename BuildFn>
+NetRun run_caffepp(const std::string& device_name, std::int64_t batch,
+                   const core::Options& options, std::size_t net_ws_limit,
+                   BuildFn&& build, int iterations = 3) {
+  auto dev = make_device(device_name);
+  core::UcudnnHandle handle(dev, options);
+  caffepp::NetOptions net_options;
+  net_options.workspace_limit = net_ws_limit;
+  caffepp::Net net(handle, "bench", net_options);
+  build(net, batch);
+  NetRun run;
+  run.layers = net.time(iterations);
+  run.total_ms = net.last_iteration_ms();
+  for (const auto& lt : run.layers) {
+    if (lt.name.rfind("conv", 0) == 0 || lt.name.rfind("res", 0) == 0 ||
+        lt.name.rfind("dense", 0) == 0 || lt.name.rfind("trans", 0) == 0) {
+      // Only convolution layers (their names carry these prefixes and the
+      // builder gives BN/ReLU distinct suffixes handled below).
+      if (lt.name.find("_bn") == std::string::npos &&
+          lt.name.find("_relu") == std::string::npos &&
+          lt.name.find("_sum") == std::string::npos &&
+          lt.name.find("_out") == std::string::npos &&
+          lt.name.find("_concat") == std::string::npos &&
+          lt.name.find("_pool") == std::string::npos) {
+        run.conv_ms += lt.forward_ms + lt.backward_ms;
+      }
+    }
+  }
+  return run;
+}
+
+inline void print_rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace ucudnn::bench

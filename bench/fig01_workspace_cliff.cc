@@ -1,0 +1,70 @@
+// Fig. 1 reproduction: forward-convolution time of single-column AlexNet's
+// layers on P100-SXM2 when the workspace limit is (a) unlimited ("Best") and
+// (b) one byte less than the best algorithm needs ("-1 byte"). The paper
+// reports a 4.51x gap on conv2; the qualitative claim is that a one-byte
+// shortfall silently forces a much slower algorithm.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "mcudnn/mcudnn.h"
+
+using namespace ucudnn;
+
+int main() {
+  std::printf("Fig. 1: cuDNN forward convolution, AlexNet layers, P100-SXM2\n");
+  std::printf("mini-batch 256; 'Best' = unlimited workspace, '-1 byte' = one "
+              "byte below Best's need\n\n");
+
+  mcudnn::Handle handle(bench::make_device("P100-SXM2"));
+
+  struct LayerDef {
+    const char* name;
+    kernels::ConvProblem problem;
+  };
+  const std::int64_t n = 256;
+  const std::vector<LayerDef> layers = {
+      {"conv1", {{n, 3, 227, 227}, {96, 3, 11, 11}, {.stride_h = 4, .stride_w = 4}}},
+      {"conv2", bench::alexnet_conv2(n)},
+      {"conv3", {{n, 256, 13, 13}, {384, 256, 3, 3}, {.pad_h = 1, .pad_w = 1}}},
+      {"conv4", {{n, 384, 13, 13}, {384, 384, 3, 3}, {.pad_h = 1, .pad_w = 1}}},
+      {"conv5", {{n, 384, 13, 13}, {256, 384, 3, 3}, {.pad_h = 1, .pad_w = 1}}},
+  };
+
+  std::printf("%-7s %-24s %10s %-24s %10s %7s\n", "layer", "best algo",
+              "best ms", "-1 byte algo", "-1B ms", "slowdn");
+  bench::print_rule(92);
+  double conv2_ratio = 0.0;
+  for (const auto& layer : layers) {
+    const int best = mcudnn::get_algorithm(handle, ConvKernelType::kForward,
+                                           layer.problem,
+                                           mcudnn::AlgoPreference::kPreferFastest);
+    const double t_best =
+        handle.device().model_time_ms(ConvKernelType::kForward, best,
+                                      layer.problem);
+    const std::size_t ws_best =
+        mcudnn::workspace_size(handle, ConvKernelType::kForward, layer.problem,
+                               best);
+    int fallback = best;
+    double t_fallback = t_best;
+    if (ws_best > 0) {
+      fallback = mcudnn::get_algorithm(
+          handle, ConvKernelType::kForward, layer.problem,
+          mcudnn::AlgoPreference::kSpecifyWorkspaceLimit, ws_best - 1);
+      t_fallback = handle.device().model_time_ms(ConvKernelType::kForward,
+                                                 fallback, layer.problem);
+    }
+    const double ratio = t_fallback / t_best;
+    if (std::string(layer.name) == "conv2") conv2_ratio = ratio;
+    std::printf("%-7s %-24s %10.3f %-24s %10.3f %6.2fx\n", layer.name,
+                std::string(kernels::algo_name(ConvKernelType::kForward, best))
+                    .c_str(),
+                t_best,
+                std::string(
+                    kernels::algo_name(ConvKernelType::kForward, fallback))
+                    .c_str(),
+                t_fallback, ratio);
+  }
+  bench::print_rule(92);
+  std::printf("conv2 '-1 byte' slowdown: %.2fx (paper: 4.51x)\n", conv2_ratio);
+  return 0;
+}

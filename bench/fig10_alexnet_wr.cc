@@ -1,0 +1,82 @@
+// Fig. 10 reproduction: Caffe(-style) AlexNet forward+backward time on K80,
+// P100-SXM2 and V100-SXM2 under per-layer workspace limits of 8/64/512 MiB
+// and batch-size policies undivided (u) / powerOfTwo (p) / all (a).
+// Mini-batch 256 on K80 and P100, 1024 on V100 (as in the paper).
+//
+// Expected shape (paper): large gains at 64 MiB (K80: 1.81x whole-iteration,
+// 2.10x convolutions; P100: 1.40x / 1.63x; V100: 1.47x / 1.63x), no gain at
+// 8 MiB (workspace too small to exploit), negligible gain at 512 MiB.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "frameworks/caffepp/model_zoo.h"
+
+using namespace ucudnn;
+
+int main() {
+  const struct {
+    const char* device;
+    std::int64_t batch;
+  } targets[] = {
+      {"K80", 256}, {"P100-SXM2", 256}, {"V100-SXM2", 1024}};
+
+  for (const auto& target : targets) {
+    std::printf("=== AlexNet on %s, mini-batch %lld ===\n", target.device,
+                static_cast<long long>(target.batch));
+    std::printf("%8s %8s %12s %12s %10s %10s\n", "ws[MiB]", "policy",
+                "total[ms]", "conv[ms]", "tot spd", "conv spd");
+    bench::print_rule(66);
+    for (const std::size_t ws_mib : {8, 64, 512}) {
+      double base_total = 0.0, base_conv = 0.0;
+      for (const auto policy :
+           {core::BatchSizePolicy::kUndivided,
+            core::BatchSizePolicy::kPowerOfTwo, core::BatchSizePolicy::kAll}) {
+        const auto run = bench::run_caffepp(
+            target.device, target.batch,
+            bench::wr_options(ws_mib << 20, policy), ws_mib << 20,
+            [](caffepp::Net& net, std::int64_t batch) {
+              caffepp::build_alexnet(net, batch);
+            });
+        if (policy == core::BatchSizePolicy::kUndivided) {
+          base_total = run.total_ms;
+          base_conv = run.conv_ms;
+        }
+        std::printf("%8zu %8s %12.2f %12.2f %9.2fx %9.2fx\n", ws_mib,
+                    bench::policy_tag(policy), run.total_ms, run.conv_ms,
+                    base_total / run.total_ms, base_conv / run.conv_ms);
+      }
+    }
+    bench::print_rule(66);
+
+    // Per-layer convolution breakdown at 64 MiB, undivided vs all.
+    std::printf("per-conv-layer breakdown at 64 MiB (fwd+bwd, ms):\n");
+    const auto undivided = bench::run_caffepp(
+        target.device, target.batch,
+        bench::wr_options(std::size_t{64} << 20,
+                          core::BatchSizePolicy::kUndivided),
+        std::size_t{64} << 20,
+        [](caffepp::Net& net, std::int64_t batch) {
+          caffepp::build_alexnet(net, batch);
+        });
+    const auto all = bench::run_caffepp(
+        target.device, target.batch,
+        bench::wr_options(std::size_t{64} << 20, core::BatchSizePolicy::kAll),
+        std::size_t{64} << 20,
+        [](caffepp::Net& net, std::int64_t batch) {
+          caffepp::build_alexnet(net, batch);
+        });
+    std::printf("%-8s %12s %12s %10s\n", "layer", "undivided", "all",
+                "speedup");
+    for (std::size_t i = 0; i < undivided.layers.size(); ++i) {
+      const auto& u = undivided.layers[i];
+      if (u.name.rfind("conv", 0) != 0) continue;
+      const auto& a = all.layers[i];
+      const double tu = u.forward_ms + u.backward_ms;
+      const double ta = a.forward_ms + a.backward_ms;
+      std::printf("%-8s %12.2f %12.2f %9.2fx\n", u.name.c_str(), tu, ta,
+                  tu / ta);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

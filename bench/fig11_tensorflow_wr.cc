@@ -1,0 +1,71 @@
+// Fig. 11 reproduction: TensorFlow(-style) AlexNet, ResNet-50 and
+// DenseNet-40 (k = 40) on P100-SXM2 with workspace limits 8/64/512 MiB.
+// tfmini, like TensorFlow 1.4.1, never announces a workspace limit through
+// the benchmarking functions, so μ-cuDNN takes it from its own options
+// (UCUDNN_WORKSPACE_LIMIT) — exactly the integration scenario of §IV-B2.
+//
+// Expected shape (paper, 64 MiB): 1.24x for AlexNet, 1.06x for ResNet-50.
+#include <cstdio>
+#include <functional>
+
+#include "bench/bench_util.h"
+#include "frameworks/tfmini/models.h"
+
+using namespace ucudnn;
+
+namespace {
+
+double run_tfmini(const std::function<int(tfmini::Graph&)>& build,
+                  std::size_t ws_limit, core::BatchSizePolicy policy) {
+  tfmini::Graph graph;
+  build(graph);
+  auto dev = bench::make_device("P100-SXM2");
+  core::Options options = bench::wr_options(ws_limit, policy);
+  // TF executes ops sequentially and allocates conv scratch per call; the
+  // shared-workspace mode models that (one buffer, max requirement).
+  options.share_wr_workspace = true;
+  core::UcudnnHandle handle(dev, options);
+  tfmini::Session session(graph, handle);
+  session.time(3);
+  return session.last_iteration_ms();
+}
+
+}  // namespace
+
+int main() {
+  struct ModelDef {
+    const char* name;
+    std::function<int(tfmini::Graph&)> build;
+  };
+  const ModelDef models[] = {
+      {"AlexNet (batch 256)",
+       [](tfmini::Graph& g) { return tfmini::build_alexnet(g, 256); }},
+      {"ResNet-50 (batch 64)",
+       [](tfmini::Graph& g) { return tfmini::build_resnet50(g, 64); }},
+      {"DenseNet-40 k=40 (batch 256)",
+       [](tfmini::Graph& g) { return tfmini::build_densenet40(g, 256, 40); }},
+  };
+
+  std::printf("Fig. 11: tfmini (TensorFlow-style) networks on P100-SXM2\n\n");
+  for (const auto& model : models) {
+    std::printf("--- %s ---\n", model.name);
+    std::printf("%8s %8s %12s %10s\n", "ws[MiB]", "policy", "total[ms]",
+                "speedup");
+    bench::print_rule(44);
+    for (const std::size_t ws_mib : {8, 64, 512}) {
+      double base = 0.0;
+      for (const auto policy :
+           {core::BatchSizePolicy::kUndivided,
+            core::BatchSizePolicy::kPowerOfTwo, core::BatchSizePolicy::kAll}) {
+        const double ms = run_tfmini(model.build, ws_mib << 20, policy);
+        if (policy == core::BatchSizePolicy::kUndivided) base = ms;
+        std::printf("%8zu %8s %12.2f %9.2fx\n", ws_mib,
+                    bench::policy_tag(policy), ms, base / ms);
+      }
+    }
+    bench::print_rule(44);
+    std::printf("\n");
+  }
+  std::printf("(paper at 64 MiB: AlexNet 1.24x, ResNet-50 1.06x)\n");
+  return 0;
+}

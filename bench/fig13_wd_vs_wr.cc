@@ -1,0 +1,111 @@
+// Fig. 13 reproduction: WR vs WD on AlexNet (batch 256) and ResNet-50
+// (batch 32) on P100-SXM2. Adjoined configurations share the same TOTAL
+// workspace: WR gives every kernel limit L, WD gets one arena of
+// (#kernels x L) bytes to divide freely.
+//
+// Expected shape (paper): WD(all) @ 120 MiB beats WR(undivided) @ 8 MiB/kernel
+// by 1.24x end-to-end (1.38x convolutions) on AlexNet and even beats the
+// 960 MiB WR baseline; ResNet-50 WD @ 2544 MiB gains 1.05x / 1.14x.
+#include <cstdio>
+#include <functional>
+
+#include "bench/bench_util.h"
+#include "frameworks/caffepp/model_zoo.h"
+
+using namespace ucudnn;
+
+namespace {
+
+struct Row {
+  double total_ms;
+  double conv_ms;
+  std::size_t kernels;
+};
+
+Row run(const std::function<void(caffepp::Net&, std::int64_t)>& build,
+        std::int64_t batch, const core::Options& options,
+        std::size_t net_ws_limit) {
+  auto dev = bench::make_device("P100-SXM2");
+  core::UcudnnHandle handle(dev, options);
+  caffepp::NetOptions net_options;
+  net_options.workspace_limit = net_ws_limit;
+  caffepp::Net net(handle, "bench", net_options);
+  build(net, batch);
+  const auto layers = net.time(2);
+  Row row{net.last_iteration_ms(), 0.0, handle.recorded_kernels().size()};
+  for (const auto& lt : layers) {
+    const auto& n = lt.name;
+    const bool is_conv = (n.rfind("conv", 0) == 0 || n.find("_conv") != std::string::npos ||
+                          n.find("_down") != std::string::npos) &&
+                         n.find("_bn") == std::string::npos &&
+                         n.find("_relu") == std::string::npos;
+    if (is_conv) row.conv_ms += lt.forward_ms + lt.backward_ms;
+  }
+  return row;
+}
+
+void compare(const char* title,
+             const std::function<void(caffepp::Net&, std::int64_t)>& build,
+             std::int64_t batch, const std::vector<std::size_t>& per_kernel_mib) {
+  std::printf("=== %s (batch %lld) ===\n", title, static_cast<long long>(batch));
+  // Discover the kernel count once (3 kernels per conv layer, deduplicated
+  // for replicated shapes).
+  const Row probe = run(build, batch,
+                        bench::wr_options(std::size_t{8} << 20,
+                                          core::BatchSizePolicy::kUndivided),
+                        std::size_t{8} << 20);
+  const std::size_t kernels = probe.kernels;
+  std::printf("unique convolution kernels: %zu\n", kernels);
+  std::printf("%-30s %12s %12s %10s\n", "configuration", "total[ms]",
+              "conv[ms]", "speedup");
+  bench::print_rule(68);
+
+  double baseline = 0.0;
+  for (const std::size_t mib : per_kernel_mib) {
+    const std::size_t per_kernel = mib << 20;
+    const std::size_t total = kernels * per_kernel;
+    const Row wr_u = run(build, batch,
+                         bench::wr_options(per_kernel,
+                                           core::BatchSizePolicy::kUndivided),
+                         per_kernel);
+    if (baseline == 0.0) baseline = wr_u.total_ms;
+    const Row wr_a = run(build, batch,
+                         bench::wr_options(per_kernel,
+                                           core::BatchSizePolicy::kPowerOfTwo),
+                         per_kernel);
+    const Row wd_a = run(build, batch,
+                         bench::wd_options(total,
+                                           core::BatchSizePolicy::kPowerOfTwo),
+                         per_kernel);
+    char label[64];
+    std::snprintf(label, sizeof label, "WR undivided @%zu MiB/kern", mib);
+    std::printf("%-30s %12.2f %12.2f %9.2fx\n", label, wr_u.total_ms,
+                wr_u.conv_ms, baseline / wr_u.total_ms);
+    std::snprintf(label, sizeof label, "WR powerOfTwo @%zu MiB/kern", mib);
+    std::printf("%-30s %12.2f %12.2f %9.2fx\n", label, wr_a.total_ms,
+                wr_a.conv_ms, baseline / wr_a.total_ms);
+    std::snprintf(label, sizeof label, "WD powerOfTwo @%zu MiB total",
+                  (kernels * per_kernel) >> 20);
+    std::printf("%-30s %12.2f %12.2f %9.2fx\n", label, wd_a.total_ms,
+                wd_a.conv_ms, baseline / wd_a.total_ms);
+    bench::print_rule(68);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 13: WR vs WD at equal total workspace, P100-SXM2\n\n");
+  compare("AlexNet",
+          [](caffepp::Net& net, std::int64_t batch) {
+            caffepp::build_alexnet(net, batch);
+          },
+          256, {8, 64, 512});
+  compare("ResNet-50",
+          [](caffepp::Net& net, std::int64_t batch) {
+            caffepp::build_resnet50(net, batch);
+          },
+          32, {8, 16});
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Real-CPU micro-benchmark of the convolution algorithm implementations
+// (google-benchmark). Unlike the figure harnesses, these numbers are
+// measured wall-clock on the host — the same measurements μ-cuDNN's
+// benchmarking phase uses when running on the HostCpu backend.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "kernels/registry.h"
+#include "tensor/tensor.h"
+
+using namespace ucudnn;
+using kernels::ConvProblem;
+
+namespace {
+
+// A small AlexNet-conv2-like problem that every algorithm supports.
+ConvProblem problem(std::int64_t batch) {
+  return ConvProblem({batch, 32, 27, 27}, {64, 32, 5, 5},
+                     {.pad_h = 2, .pad_w = 2});
+}
+
+// A 3x3 problem for the Winograd family.
+ConvProblem problem3x3(std::int64_t batch) {
+  return ConvProblem({batch, 32, 28, 28}, {64, 32, 3, 3},
+                     {.pad_h = 1, .pad_w = 1});
+}
+
+void run_forward(benchmark::State& state, const ConvProblem& p, int algo) {
+  if (!kernels::algo_supported(ConvKernelType::kForward, algo, p)) {
+    state.SkipWithError("unsupported");
+    return;
+  }
+  std::vector<float> x(static_cast<std::size_t>(p.x.count()));
+  std::vector<float> w(static_cast<std::size_t>(p.w.count()));
+  std::vector<float> y(static_cast<std::size_t>(p.y.count()));
+  fill_random(x.data(), p.x.count(), 1);
+  fill_random(w.data(), p.w.count(), 2);
+  const std::size_t ws_bytes =
+      kernels::algo_workspace(ConvKernelType::kForward, algo, p);
+  AlignedBuffer<char> ws(ws_bytes);
+  for (auto _ : state) {
+    kernels::execute(ConvKernelType::kForward, algo, p, x.data(), w.data(),
+                     y.data(), 1.0f, 0.0f, ws.data(), ws_bytes);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * p.macs() * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+  state.counters["ws_MiB"] = static_cast<double>(ws_bytes) / (1 << 20);
+}
+
+void BM_Forward5x5(benchmark::State& state) {
+  run_forward(state, problem(state.range(0)), static_cast<int>(state.range(1)));
+}
+
+void BM_Forward3x3(benchmark::State& state) {
+  run_forward(state, problem3x3(state.range(0)),
+              static_cast<int>(state.range(1)));
+}
+
+}  // namespace
+
+BENCHMARK(BM_Forward5x5)
+    ->ArgsProduct({{4, 16},
+                   {kernels::fwd_algo::kImplicitGemm,
+                    kernels::fwd_algo::kImplicitPrecompGemm,
+                    kernels::fwd_algo::kGemm, kernels::fwd_algo::kFft,
+                    kernels::fwd_algo::kFftTiling}})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_Forward3x3)
+    ->ArgsProduct({{8},
+                   {kernels::fwd_algo::kGemm, kernels::fwd_algo::kWinograd,
+                    kernels::fwd_algo::kWinogradNonfused,
+                    kernels::fwd_algo::kFft}})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

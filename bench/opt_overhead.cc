@@ -1,0 +1,69 @@
+// §IV-B1 / §IV-D overhead accounting: time spent in micro-benchmarking and
+// DP optimization under the `all` vs `powerOfTwo` policies (paper on P100:
+// 34.16 s vs 3.82 s — ~9x apart), plus the WD ILP statistics for ResNet-50
+// (paper: 562 variables, 5.46 ms GLPK solve at 5088 MiB).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "frameworks/caffepp/model_zoo.h"
+
+using namespace ucudnn;
+
+int main() {
+  std::printf("Optimization overhead (AlexNet, P100-SXM2, batch 256, "
+              "64 MiB/kernel)\n\n");
+  std::printf("%-12s %14s %14s %14s\n", "policy", "benchmark[ms]",
+              "optimize[ms]", "wall[ms]");
+  bench::print_rule(60);
+  double all_ms = 0.0, pow2_ms = 0.0;
+  for (const auto policy :
+       {core::BatchSizePolicy::kPowerOfTwo, core::BatchSizePolicy::kAll}) {
+    auto dev = bench::make_device("P100-SXM2");
+    core::UcudnnHandle handle(dev,
+                              bench::wr_options(std::size_t{64} << 20, policy));
+    caffepp::Net net(handle, "alexnet");
+    caffepp::build_alexnet(net, 256);
+    Timer timer;
+    net.forward();  // triggers benchmarking + WR DP for every kernel
+    const double wall = timer.elapsed_ms();
+    if (policy == core::BatchSizePolicy::kAll) all_ms = wall;
+    if (policy == core::BatchSizePolicy::kPowerOfTwo) pow2_ms = wall;
+    std::printf("%-12s %14.2f %14.2f %14.2f\n",
+                std::string(to_string(policy)).c_str(),
+                handle.total_benchmark_ms(), handle.total_optimize_ms(), wall);
+  }
+  bench::print_rule(60);
+  std::printf("all / powerOfTwo wall ratio: %.1fx (paper: ~8.9x)\n\n",
+              all_ms / pow2_ms);
+
+  std::printf("WD ILP statistics, ResNet-50 (batch 32), total arena = "
+              "#kernels x 32 MiB\n");
+  auto dev = bench::make_device("P100-SXM2");
+  // Probe the unique-kernel count first.
+  std::size_t kernels = 0;
+  {
+    core::UcudnnHandle probe(bench::make_device("P100-SXM2"),
+                             bench::wr_options(std::size_t{8} << 20,
+                                               core::BatchSizePolicy::kUndivided));
+    caffepp::Net net(probe, "probe");
+    caffepp::build_resnet50(net, 32);
+    kernels = probe.recorded_kernels().size();
+  }
+  core::UcudnnHandle handle(
+      dev, bench::wd_options(kernels * (std::size_t{32} << 20),
+                             core::BatchSizePolicy::kPowerOfTwo));
+  caffepp::Net net(handle, "resnet50");
+  caffepp::build_resnet50(net, 32);
+  net.forward();
+  const core::WdPlan* plan = handle.wd_plan();
+  std::printf("unique kernels: %zu, ILP variables after Pareto pruning: %zu\n",
+              kernels, plan->num_variables);
+  std::printf("solver time: %.3f ms (paper: 5.46 ms with GLPK, 562 vars)\n",
+              plan->solve_ms);
+  std::printf("arena used: %.1f MiB of %.1f MiB; benchmark time %.2f ms\n",
+              bench::mib(plan->total_workspace),
+              bench::mib(kernels * (std::size_t{32} << 20)),
+              handle.total_benchmark_ms());
+  return 0;
+}

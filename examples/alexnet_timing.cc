@@ -1,0 +1,56 @@
+// `caffe time` equivalent on the simulated P100: builds AlexNet with the
+// caffepp framework, times forward+backward per layer under a chosen
+// batch-size policy and per-layer workspace limit.
+//
+// Usage: alexnet_timing [policy] [ws_mib] [batch]
+//   policy: undivided | powerOfTwo | all   (default powerOfTwo)
+//   ws_mib: per-layer workspace limit in MiB (default 64)
+//   batch:  mini-batch size (default 256)
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "frameworks/caffepp/model_zoo.h"
+
+using namespace ucudnn;
+
+int main(int argc, char** argv) {
+  const std::string policy_name = argc > 1 ? argv[1] : "powerOfTwo";
+  const std::size_t ws_mib =
+      argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 64;
+  const std::int64_t batch = argc > 3 ? std::atoll(argv[3]) : 256;
+
+  auto dev = std::make_shared<device::Device>(device::p100_sxm2_spec());
+  core::Options options;
+  options.batch_size_policy = core::parse_batch_size_policy(policy_name);
+  options.workspace_limit = ws_mib << 20;
+  core::UcudnnHandle handle(dev, options);
+
+  caffepp::NetOptions net_options;
+  net_options.workspace_limit = ws_mib << 20;
+  caffepp::Net net(handle, "alexnet", net_options);
+  caffepp::build_alexnet(net, batch);
+
+  std::printf("AlexNet, batch %lld, policy %s, %zu MiB/layer, device %s\n\n",
+              static_cast<long long>(batch), policy_name.c_str(), ws_mib,
+              dev->spec().name.c_str());
+  const auto times = net.time(3);
+  std::printf("%-12s %12s %12s\n", "layer", "forward[ms]", "backward[ms]");
+  for (const auto& lt : times) {
+    if (lt.forward_ms + lt.backward_ms < 0.05) continue;  // skip noise rows
+    std::printf("%-12s %12.2f %12.2f\n", lt.name.c_str(), lt.forward_ms,
+                lt.backward_ms);
+  }
+  std::printf("\ntotal per iteration: %.2f ms\n", net.last_iteration_ms());
+
+  std::printf("\nchosen convolution configurations:\n");
+  for (const auto& [name, problem] : net.conv_problems()) {
+    const auto* config =
+        handle.configuration_for(ConvKernelType::kForward, problem);
+    if (config != nullptr) {
+      std::printf("  %-8s %s\n", name.c_str(),
+                  config->to_string(ConvKernelType::kForward).c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Quickstart: wrap a handle, run one convolution, see what μ-cuDNN did.
+//
+// The integration recipe is the paper's: swap the handle type (here:
+// construct a UcudnnHandle instead of an mcudnn::Handle) and keep calling
+// the same cuDNN-shaped API. μ-cuDNN answers workspace queries with zero,
+// records the kernel, and at the first convolution call divides the
+// mini-batch into micro-batches that unlock faster algorithms within the
+// workspace limit.
+#include <cstdio>
+#include <memory>
+
+#include "core/ucudnn.h"
+#include "tensor/tensor.h"
+
+using namespace ucudnn;
+
+int main() {
+  // 1. A device and a μ-cuDNN handle. HostCpu executes kernels for real;
+  //    swap in device::p100_sxm2_spec() for the calibrated simulator.
+  auto dev = std::make_shared<device::Device>(device::host_cpu_spec());
+  core::Options options;
+  options.batch_size_policy = core::BatchSizePolicy::kPowerOfTwo;
+  options.workspace_limit = std::size_t{2} << 20;  // 2 MiB per kernel
+  core::UcudnnHandle handle(dev, options);
+
+  // 2. A convolution problem: 16 images, 16->32 channels, 3x3, pad 1.
+  const kernels::ConvProblem problem({16, 16, 24, 24}, {32, 16, 3, 3},
+                                     {.pad_h = 1, .pad_w = 1});
+  Tensor x(problem.x), w(TensorShape{32, 16, 3, 3}), y(problem.y);
+  fill_random(x, 1);
+  fill_random(w, 2);
+
+  // 3. The cuDNN-style dance. GetAlgorithm returns a virtual ID and
+  //    GetWorkspaceSize returns 0 — μ-cuDNN owns the workspace.
+  const int algo = handle.get_algorithm(
+      ConvKernelType::kForward, problem,
+      mcudnn::AlgoPreference::kSpecifyWorkspaceLimit, *options.workspace_limit);
+  const std::size_t ws = handle.workspace_size(ConvKernelType::kForward,
+                                               problem, algo);
+  std::printf("virtual algorithm id: %d, reported workspace: %zu bytes\n",
+              algo, ws);
+
+  // 4. Run. The first call benchmarks micro-batch sizes, solves the WR DP,
+  //    allocates the (bounded) workspace internally, and executes the
+  //    optimized sequence of micro-batches.
+  handle.convolution(ConvKernelType::kForward, problem, 1.0f, x.data(),
+                     w.data(), 0.0f, y.data());
+
+  const core::Configuration* config =
+      handle.configuration_for(ConvKernelType::kForward, problem);
+  std::printf("chosen configuration: %s\n",
+              config->to_string(ConvKernelType::kForward).c_str());
+  std::printf("workspace used: %.2f KiB (limit was %.2f KiB)\n",
+              static_cast<double>(config->workspace) / 1024.0,
+              static_cast<double>(*options.workspace_limit) / 1024.0);
+
+  // 5. Verify against the zero-workspace direct kernel.
+  Tensor y_ref(problem.y);
+  kernels::execute(ConvKernelType::kForward, kernels::fwd_algo::kDirect,
+                   problem, x.data(), w.data(), y_ref.data(), 1.0f, 0.0f,
+                   nullptr, 0);
+  std::printf("max relative error vs direct reference: %.2e\n",
+              max_rel_diff(y.data(), y_ref.data(), problem.y.count()));
+  std::printf("benchmarking took %.1f ms, optimization %.2f ms\n",
+              handle.total_benchmark_ms(), handle.total_optimize_ms());
+  return 0;
+}

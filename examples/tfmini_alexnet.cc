@@ -1,0 +1,40 @@
+// Framework portability demo (§IV-B2): the same μ-cuDNN handle behind a
+// TensorFlow-style deferred-graph framework. tfmini never announces a
+// workspace limit before running, so μ-cuDNN takes it from its options —
+// set UCUDNN_WORKSPACE_LIMIT (e.g. "64M") to steer it from the environment.
+#include <cstdio>
+#include <memory>
+
+#include "common/env.h"
+#include "frameworks/tfmini/models.h"
+
+using namespace ucudnn;
+
+int main() {
+  tfmini::Graph graph;
+  tfmini::build_alexnet(graph, 256);
+  std::printf("tfmini AlexNet graph: %zu ops\n", graph.ops().size());
+
+  auto dev = std::make_shared<device::Device>(device::p100_sxm2_spec());
+  core::Options options = core::Options::from_env();
+  if (!options.workspace_limit) {
+    options.workspace_limit = std::size_t{64} << 20;
+  }
+  core::UcudnnHandle handle(dev, options);
+
+  tfmini::Session session(graph, handle);
+  const auto times = session.time(3);
+
+  std::printf("per-op breakdown (fwd+bwd > 1 ms):\n");
+  for (const auto& ot : times) {
+    const double total = ot.forward_ms + ot.backward_ms;
+    if (total < 1.0) continue;
+    std::printf("  %-14s %8.2f ms\n", ot.name.c_str(), total);
+  }
+  std::printf("iteration: %.2f ms at %.0f MiB/kernel workspace limit\n",
+              session.last_iteration_ms(),
+              static_cast<double>(*options.workspace_limit) / (1 << 20));
+  std::printf("kernels recorded by u-cuDNN at run time: %zu\n",
+              handle.recorded_kernels().size());
+  return 0;
+}

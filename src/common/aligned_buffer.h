@@ -1,0 +1,69 @@
+// Cache-line aligned owning float/byte buffers (RAII, move-only).
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <utility>
+
+namespace ucudnn {
+
+inline constexpr std::size_t kBufferAlignment = 64;
+
+/// Move-only aligned heap buffer of `T`. Contents are uninitialized unless
+/// `zeroed` is requested.
+template <typename T>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() noexcept = default;
+
+  explicit AlignedBuffer(std::size_t count, bool zeroed = false) : count_(count) {
+    if (count_ == 0) return;
+    const std::size_t bytes =
+        ((count_ * sizeof(T) + kBufferAlignment - 1) / kBufferAlignment) *
+        kBufferAlignment;
+    data_ = static_cast<T*>(std::aligned_alloc(kBufferAlignment, bytes));
+    if (data_ == nullptr) throw std::bad_alloc();
+    if (zeroed) {
+      for (std::size_t i = 0; i < count_; ++i) data_[i] = T{};
+    }
+  }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        count_(std::exchange(other.count_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = std::exchange(other.data_, nullptr);
+      count_ = std::exchange(other.count_, 0);
+    }
+    return *this;
+  }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  ~AlignedBuffer() { release(); }
+
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+ private:
+  void release() noexcept {
+    std::free(data_);
+    data_ = nullptr;
+    count_ = 0;
+  }
+
+  T* data_ = nullptr;
+  std::size_t count_ = 0;
+};
+
+}  // namespace ucudnn

@@ -1,0 +1,34 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+#include "common/env.h"
+
+namespace ucudnn {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() : level_(LogLevel::kWarn) {
+  const std::string value = env_string("UCUDNN_LOG_LEVEL", "warn");
+  if (value == "error") {
+    level_ = LogLevel::kError;
+  } else if (value == "warn") {
+    level_ = LogLevel::kWarn;
+  } else if (value == "info") {
+    level_ = LogLevel::kInfo;
+  } else if (value == "debug") {
+    level_ = LogLevel::kDebug;
+  }
+}
+
+void Logger::write(LogLevel level, const std::string& message) {
+  static constexpr const char* kTags[] = {"E", "W", "I", "D"};
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fprintf(stderr, "[ucudnn %s] %s\n",
+               kTags[static_cast<int>(level)], message.c_str());
+}
+
+}  // namespace ucudnn

@@ -1,0 +1,66 @@
+// Minimal leveled logger. Level is taken from UCUDNN_LOG_LEVEL
+// (error|warn|info|debug) and defaults to warn.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace ucudnn {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Process-wide logger configuration and sink.
+class Logger {
+ public:
+  static Logger& instance();
+
+  LogLevel level() const noexcept { return level_; }
+  void set_level(LogLevel level) noexcept { level_ = level; }
+
+  bool enabled(LogLevel level) const noexcept {
+    return static_cast<int>(level) <= static_cast<int>(level_);
+  }
+
+  /// Writes one formatted line to stderr (thread-safe).
+  void write(LogLevel level, const std::string& message);
+
+ private:
+  Logger();
+  LogLevel level_;
+  std::mutex mutex_;
+};
+
+namespace detail {
+
+/// RAII line builder: streams into a buffer, emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::instance().write(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace ucudnn
+
+#define UCUDNN_LOG(level_enum)                                        \
+  if (!::ucudnn::Logger::instance().enabled(level_enum)) {            \
+  } else                                                              \
+    ::ucudnn::detail::LogLine(level_enum)
+
+#define UCUDNN_LOG_ERROR UCUDNN_LOG(::ucudnn::LogLevel::kError)
+#define UCUDNN_LOG_WARN UCUDNN_LOG(::ucudnn::LogLevel::kWarn)
+#define UCUDNN_LOG_INFO UCUDNN_LOG(::ucudnn::LogLevel::kInfo)
+#define UCUDNN_LOG_DEBUG UCUDNN_LOG(::ucudnn::LogLevel::kDebug)

@@ -1,0 +1,50 @@
+// Small integer/math helpers used across modules.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+namespace ucudnn {
+
+/// ceil(a / b) for non-negative integers, b > 0.
+template <typename T>
+constexpr T ceil_div(T a, T b) noexcept {
+  static_assert(std::is_integral_v<T>);
+  return (a + b - 1) / b;
+}
+
+/// Rounds `value` up to the next multiple of `alignment` (alignment > 0).
+template <typename T>
+constexpr T round_up(T value, T alignment) noexcept {
+  return ceil_div(value, alignment) * alignment;
+}
+
+/// Smallest power of two >= value (value >= 1).
+constexpr std::size_t next_pow2(std::size_t value) noexcept {
+  std::size_t p = 1;
+  while (p < value) p <<= 1;
+  return p;
+}
+
+/// True if value is a power of two (value > 0).
+constexpr bool is_pow2(std::size_t value) noexcept {
+  return value != 0 && (value & (value - 1)) == 0;
+}
+
+/// floor(log2(value)) for value >= 1.
+constexpr int ilog2(std::size_t value) noexcept {
+  int result = 0;
+  while (value > 1) {
+    value >>= 1;
+    ++result;
+  }
+  return result;
+}
+
+/// Combines a hash value into a running seed (boost::hash_combine style).
+inline void hash_combine(std::size_t& seed, std::size_t value) noexcept {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+}  // namespace ucudnn

@@ -1,0 +1,91 @@
+// Status codes and error machinery shared by the whole library.
+//
+// The mcudnn C-style API surfaces errors as Status values (mirroring
+// cudnnStatus_t); internal C++ code throws ucudnn::Error, which carries a
+// Status plus a human-readable message. The boundary functions translate.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace ucudnn {
+
+/// Result code of an mcudnn/ucudnn API call. Mirrors cudnnStatus_t.
+enum class Status {
+  kSuccess = 0,
+  kNotInitialized,
+  kAllocFailed,
+  kBadParam,
+  kInternalError,
+  kInvalidValue,
+  kArchMismatch,
+  kMappingError,
+  kExecutionFailed,
+  kNotSupported,
+};
+
+/// Human-readable name of a Status, e.g. "UCUDNN_STATUS_BAD_PARAM".
+constexpr std::string_view to_string(Status s) noexcept {
+  switch (s) {
+    case Status::kSuccess: return "UCUDNN_STATUS_SUCCESS";
+    case Status::kNotInitialized: return "UCUDNN_STATUS_NOT_INITIALIZED";
+    case Status::kAllocFailed: return "UCUDNN_STATUS_ALLOC_FAILED";
+    case Status::kBadParam: return "UCUDNN_STATUS_BAD_PARAM";
+    case Status::kInternalError: return "UCUDNN_STATUS_INTERNAL_ERROR";
+    case Status::kInvalidValue: return "UCUDNN_STATUS_INVALID_VALUE";
+    case Status::kArchMismatch: return "UCUDNN_STATUS_ARCH_MISMATCH";
+    case Status::kMappingError: return "UCUDNN_STATUS_MAPPING_ERROR";
+    case Status::kExecutionFailed: return "UCUDNN_STATUS_EXECUTION_FAILED";
+    case Status::kNotSupported: return "UCUDNN_STATUS_NOT_SUPPORTED";
+  }
+  return "UCUDNN_STATUS_UNKNOWN";
+}
+
+/// Exception thrown by internal C++ code; converted to Status at the
+/// C-style API boundary.
+class Error : public std::runtime_error {
+ public:
+  Error(Status status, const std::string& message)
+      : std::runtime_error(std::string(to_string(status)) + ": " + message),
+        status_(status) {}
+
+  Status status() const noexcept { return status_; }
+
+ private:
+  Status status_;
+};
+
+/// Throws Error(status, message) if `cond` is false.
+inline void check(bool cond, Status status, const std::string& message) {
+  if (!cond) throw Error(status, message);
+}
+
+/// Throws Error(kBadParam, message) if `cond` is false.
+inline void check_param(bool cond, const std::string& message) {
+  check(cond, Status::kBadParam, message);
+}
+
+}  // namespace ucudnn
+
+/// Propagates a non-success Status from an expression returning Status.
+#define UCUDNN_RETURN_IF_ERROR(expr)                          \
+  do {                                                        \
+    ::ucudnn::Status _ucudnn_status = (expr);                 \
+    if (_ucudnn_status != ::ucudnn::Status::kSuccess) {       \
+      return _ucudnn_status;                                  \
+    }                                                         \
+  } while (false)
+
+/// Converts exceptions to Status at a C-style API boundary.
+#define UCUDNN_API_BODY(body)                                 \
+  try {                                                       \
+    body;                                                     \
+    return ::ucudnn::Status::kSuccess;                        \
+  } catch (const ::ucudnn::Error& e) {                        \
+    return e.status();                                        \
+  } catch (const std::bad_alloc&) {                           \
+    return ::ucudnn::Status::kAllocFailed;                    \
+  } catch (const std::exception&) {                           \
+    return ::ucudnn::Status::kInternalError;                  \
+  }

@@ -1,0 +1,128 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "common/env.h"
+#include "common/mathutil.h"
+
+namespace ucudnn {
+
+namespace {
+// True on threads owned by a ThreadPool; nested parallel_for calls from a
+// worker run inline to avoid exhausting the pool and deadlocking.
+thread_local bool t_is_pool_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  num_threads = std::max<std::size_t>(1, num_threads);
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  t_is_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::int64_t count,
+    const std::function<void(std::int64_t, std::int64_t, std::size_t)>& body,
+    std::int64_t min_chunk) {
+  if (count <= 0) return;
+  if (t_is_pool_worker) {
+    body(0, count, 0);
+    return;
+  }
+  min_chunk = std::max<std::int64_t>(1, min_chunk);
+  const std::size_t max_chunks = std::min<std::size_t>(
+      num_threads(), static_cast<std::size_t>(ceil_div(count, min_chunk)));
+  if (max_chunks <= 1) {
+    body(0, count, 0);
+    return;
+  }
+
+  const std::int64_t chunk = ceil_div(count, static_cast<std::int64_t>(max_chunks));
+  struct State {
+    std::atomic<std::size_t> remaining;
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    std::exception_ptr error;
+    std::mutex error_mutex;
+  } state;
+
+  std::size_t num_chunks = 0;
+  for (std::int64_t begin = 0; begin < count; begin += chunk) ++num_chunks;
+  state.remaining.store(num_chunks);
+
+  std::size_t chunk_index = 0;
+  for (std::int64_t begin = 0; begin < count; begin += chunk, ++chunk_index) {
+    const std::int64_t end = std::min(count, begin + chunk);
+    submit([&state, &body, begin, end, chunk_index] {
+      try {
+        body(begin, end, chunk_index);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state.error_mutex);
+        if (!state.error) state.error = std::current_exception();
+      }
+      if (state.remaining.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(state.done_mutex);
+        state.done_cv.notify_one();
+      }
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(state.done_mutex);
+  state.done_cv.wait(lock, [&state] { return state.remaining.load() == 0; });
+  if (state.error) std::rethrow_exception(state.error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(static_cast<std::size_t>(
+      env_int("UCUDNN_NUM_THREADS",
+              std::max(1u, std::thread::hardware_concurrency()))));
+  return pool;
+}
+
+void parallel_for_each(std::int64_t count,
+                       const std::function<void(std::int64_t)>& body,
+                       std::int64_t min_chunk) {
+  ThreadPool::global().parallel_for(
+      count,
+      [&body](std::int64_t begin, std::int64_t end, std::size_t) {
+        for (std::int64_t i = begin; i < end; ++i) body(i);
+      },
+      min_chunk);
+}
+
+}  // namespace ucudnn

@@ -1,0 +1,58 @@
+// Fixed-size thread pool with a blocking parallel_for. Used by the CPU
+// convolution kernels and the SGEMM substrate; sized from UCUDNN_NUM_THREADS
+// (default: hardware concurrency).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ucudnn {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (>= 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Splits [0, count) into contiguous chunks and runs
+  /// `body(begin, end, chunk_index)` on the pool, blocking until all chunks
+  /// complete. Runs inline when count is small or the pool has one thread.
+  /// Exceptions from `body` are rethrown (first one wins).
+  void parallel_for(
+      std::int64_t count,
+      const std::function<void(std::int64_t, std::int64_t, std::size_t)>& body,
+      std::int64_t min_chunk = 1);
+
+  /// Process-wide shared pool.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Convenience wrapper over the global pool: body(index) for each i in
+/// [0, count), parallelized across chunks.
+void parallel_for_each(std::int64_t count,
+                       const std::function<void(std::int64_t)>& body,
+                       std::int64_t min_chunk = 1);
+
+}  // namespace ucudnn

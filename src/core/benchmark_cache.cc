@@ -1,0 +1,105 @@
+#include "core/benchmark_cache.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/status.h"
+
+namespace ucudnn::core {
+
+std::string BenchmarkCache::make_key(const std::string& device,
+                                     ConvKernelType type,
+                                     const kernels::ConvProblem& problem,
+                                     std::int64_t micro_batch) {
+  std::ostringstream os;
+  os << device << "|" << to_string(type) << "|" << std::hex << problem.hash()
+     << std::dec << "|" << micro_batch;
+  return os.str();
+}
+
+std::optional<std::vector<mcudnn::AlgoPerf>> BenchmarkCache::lookup(
+    const std::string& device, ConvKernelType type,
+    const kernels::ConvProblem& problem, std::int64_t micro_batch) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(make_key(device, type, problem, micro_batch));
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+void BenchmarkCache::store(const std::string& device, ConvKernelType type,
+                           const kernels::ConvProblem& problem,
+                           std::int64_t micro_batch,
+                           const std::vector<mcudnn::AlgoPerf>& perfs) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_[make_key(device, type, problem, micro_batch)] = perfs;
+}
+
+std::size_t BenchmarkCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void BenchmarkCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+std::string BenchmarkCache::encode_perfs(
+    const std::vector<mcudnn::AlgoPerf>& perfs) {
+  std::ostringstream os;
+  os.precision(17);
+  for (std::size_t i = 0; i < perfs.size(); ++i) {
+    if (i > 0) os << ",";
+    os << perfs[i].algo << ":" << static_cast<int>(perfs[i].status) << ":"
+       << perfs[i].time_ms << ":" << perfs[i].memory;
+  }
+  return os.str();
+}
+
+std::vector<mcudnn::AlgoPerf> BenchmarkCache::decode_perfs(
+    const std::string& text) {
+  std::vector<mcudnn::AlgoPerf> perfs;
+  if (text.empty()) return perfs;
+  std::istringstream items(text);
+  std::string item;
+  while (std::getline(items, item, ',')) {
+    mcudnn::AlgoPerf perf;
+    int status = 0;
+    char sep1 = 0, sep2 = 0, sep3 = 0;
+    std::istringstream is(item);
+    is >> perf.algo >> sep1 >> status >> sep2 >> perf.time_ms >> sep3 >>
+        perf.memory;
+    check(!is.fail() && sep1 == ':' && sep2 == ':' && sep3 == ':',
+          Status::kInternalError, "malformed benchmark cache entry: " + item);
+    perf.status = static_cast<Status>(status);
+    perfs.push_back(perf);
+  }
+  return perfs;
+}
+
+void BenchmarkCache::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return;  // missing cache files are fine
+  std::string line;
+  std::lock_guard<std::mutex> lock(mutex_);
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto tab = line.find('\t');
+    check(tab != std::string::npos, Status::kInternalError,
+          "malformed benchmark cache line: " + line);
+    entries_[line.substr(0, tab)] = decode_perfs(line.substr(tab + 1));
+  }
+}
+
+void BenchmarkCache::save_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  check(static_cast<bool>(out), Status::kInternalError,
+        "cannot open benchmark cache file for writing: " + path);
+  out << "# ucudnn benchmark cache v1\n";
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [key, perfs] : entries_) {
+    out << key << "\t" << encode_perfs(perfs) << "\n";
+  }
+}
+
+}  // namespace ucudnn::core

@@ -1,0 +1,52 @@
+// Benchmark-result cache (§III-D): μ-cuDNN memoizes per-(device, kernel,
+// problem, micro-batch) algorithm benchmarks in memory, and optionally in a
+// file-based database so results survive across processes and can be shared
+// over a network filesystem by a homogeneous cluster (offline benchmarking).
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kernels/conv_problem.h"
+#include "mcudnn/mcudnn.h"
+
+namespace ucudnn::core {
+
+class BenchmarkCache {
+ public:
+  std::optional<std::vector<mcudnn::AlgoPerf>> lookup(
+      const std::string& device, ConvKernelType type,
+      const kernels::ConvProblem& problem, std::int64_t micro_batch) const;
+
+  void store(const std::string& device, ConvKernelType type,
+             const kernels::ConvProblem& problem, std::int64_t micro_batch,
+             const std::vector<mcudnn::AlgoPerf>& perfs);
+
+  std::size_t size() const;
+  void clear();
+
+  /// Merges entries from a database file; silently ignores a missing file,
+  /// throws Error(kInternalError) on a malformed one.
+  void load_file(const std::string& path);
+
+  /// Writes the full cache to a database file (atomic enough for the
+  /// single-writer offline-benchmark workflow).
+  void save_file(const std::string& path) const;
+
+  /// Serialization helpers (exposed for tests).
+  static std::string encode_perfs(const std::vector<mcudnn::AlgoPerf>& perfs);
+  static std::vector<mcudnn::AlgoPerf> decode_perfs(const std::string& text);
+
+ private:
+  static std::string make_key(const std::string& device, ConvKernelType type,
+                              const kernels::ConvProblem& problem,
+                              std::int64_t micro_batch);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::vector<mcudnn::AlgoPerf>> entries_;
+};
+
+}  // namespace ucudnn::core

@@ -1,0 +1,79 @@
+#include "core/benchmarker.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace ucudnn::core {
+
+Benchmarker::Benchmarker(std::vector<mcudnn::Handle> handles,
+                         std::shared_ptr<BenchmarkCache> cache)
+    : handles_(std::move(handles)), cache_(std::move(cache)) {
+  check_param(!handles_.empty(), "benchmarker needs at least one handle");
+  if (cache_ == nullptr) cache_ = std::make_shared<BenchmarkCache>();
+}
+
+MicroBenchmark Benchmarker::run(ConvKernelType type,
+                                const kernels::ConvProblem& problem,
+                                BatchSizePolicy policy) {
+  Timer timer;
+  MicroBenchmark result;
+  result.sizes = candidate_micro_sizes(policy, problem.batch());
+  result.perfs.resize(result.sizes.size());
+
+  const std::string& device_name = handles_[0].device().spec().name;
+
+  // Resolve cache hits first; collect misses.
+  std::vector<std::size_t> misses;
+  for (std::size_t i = 0; i < result.sizes.size(); ++i) {
+    if (auto hit = cache_->lookup(device_name, type, problem, result.sizes[i])) {
+      result.perfs[i] = std::move(*hit);
+    } else {
+      misses.push_back(i);
+    }
+  }
+
+  // Evaluate misses, striped round-robin across the node's devices
+  // (one worker thread per handle, as in §III-D).
+  if (!misses.empty()) {
+    const std::size_t workers = std::min(handles_.size(), misses.size());
+    std::vector<std::thread> threads;
+    std::vector<std::exception_ptr> errors(workers);
+    threads.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      threads.emplace_back([&, w] {
+        try {
+          for (std::size_t m = w; m < misses.size(); m += workers) {
+            const std::size_t i = misses[m];
+            auto perfs = mcudnn::find_algorithms(
+                handles_[w], type, problem.with_batch(result.sizes[i]));
+            // Keep only successful entries; they arrive time-sorted.
+            perfs.erase(std::remove_if(perfs.begin(), perfs.end(),
+                                       [](const mcudnn::AlgoPerf& p) {
+                                         return p.status != Status::kSuccess;
+                                       }),
+                        perfs.end());
+            result.perfs[i] = std::move(perfs);
+          }
+        } catch (...) {
+          errors[w] = std::current_exception();
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (const auto& error : errors) {
+      if (error) std::rethrow_exception(error);
+    }
+    for (const std::size_t i : misses) {
+      cache_->store(device_name, type, problem, result.sizes[i],
+                    result.perfs[i]);
+    }
+  }
+
+  total_benchmark_ms_ += timer.elapsed_ms();
+  return result;
+}
+
+}  // namespace ucudnn::core

@@ -1,0 +1,49 @@
+// Micro-batch benchmarking (step 1 of the WR algorithm, §III-B): for every
+// candidate micro-batch size b', evaluate all convolution algorithms with
+// cudnnFindConvolution*Algorithm-style benchmarking, through the cache.
+// Candidate sizes can be distributed over several homogeneous devices and
+// evaluated concurrently (§III-D "parallel micro-configuration evaluation").
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/benchmark_cache.h"
+#include "core/types.h"
+#include "mcudnn/mcudnn.h"
+
+namespace ucudnn::core {
+
+/// Benchmark table of one kernel: perfs[i] holds the SUPPORTED algorithm
+/// results (ascending time) for micro-batch size sizes[i].
+struct MicroBenchmark {
+  std::vector<std::int64_t> sizes;
+  std::vector<std::vector<mcudnn::AlgoPerf>> perfs;
+};
+
+class Benchmarker {
+ public:
+  /// `handles` must target homogeneous devices; handle 0 is the primary.
+  Benchmarker(std::vector<mcudnn::Handle> handles,
+              std::shared_ptr<BenchmarkCache> cache);
+
+  /// Benchmarks every candidate micro size of `problem`'s batch under
+  /// `policy`. Results are cached by (device, kernel, problem, micro size).
+  MicroBenchmark run(ConvKernelType type, const kernels::ConvProblem& problem,
+                     BatchSizePolicy policy);
+
+  /// Accumulated wall-clock time spent benchmarking (the §IV-B1
+  /// "time to optimization" accounting).
+  double total_benchmark_ms() const noexcept { return total_benchmark_ms_; }
+
+  const std::shared_ptr<BenchmarkCache>& cache() const noexcept {
+    return cache_;
+  }
+
+ private:
+  std::vector<mcudnn::Handle> handles_;
+  std::shared_ptr<BenchmarkCache> cache_;
+  double total_benchmark_ms_ = 0.0;
+};
+
+}  // namespace ucudnn::core

@@ -1,0 +1,35 @@
+#include "core/options.h"
+
+#include "common/env.h"
+
+namespace ucudnn::core {
+
+Options Options::from_env() {
+  Options opts;
+  opts.batch_size_policy = parse_batch_size_policy(
+      env_string("UCUDNN_BATCH_SIZE_POLICY", "powerOfTwo"));
+  opts.workspace_policy =
+      parse_workspace_policy(env_string("UCUDNN_WORKSPACE_POLICY", "wr"));
+  if (const auto raw = env_raw("UCUDNN_WORKSPACE_LIMIT")) {
+    opts.workspace_limit = parse_bytes(*raw);
+  }
+  opts.total_workspace_size =
+      env_bytes("UCUDNN_TOTAL_WORKSPACE_SIZE", std::size_t{64} << 20);
+  const std::string solver = env_string("UCUDNN_WD_SOLVER", "dp");
+  if (solver == "dp") {
+    opts.wd_solver = WdSolver::kMckpDp;
+  } else if (solver == "ilp") {
+    opts.wd_solver = WdSolver::kBranchBoundIlp;
+  } else {
+    throw Error(Status::kInvalidValue, "unknown UCUDNN_WD_SOLVER: " + solver);
+  }
+  opts.share_wr_workspace = env_bool("UCUDNN_SHARED_WORKSPACE", false);
+  opts.cache_path = env_string("UCUDNN_CACHE_PATH", "");
+  opts.benchmark_devices =
+      static_cast<int>(env_int("UCUDNN_BENCHMARK_DEVICES", 1));
+  check(opts.benchmark_devices >= 1, Status::kInvalidValue,
+        "UCUDNN_BENCHMARK_DEVICES must be >= 1");
+  return opts;
+}
+
+}  // namespace ucudnn::core

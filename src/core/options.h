@@ -1,0 +1,50 @@
+// μ-cuDNN configuration. Like the paper's implementation everything is
+// controllable through UCUDNN_* environment variables, and programmatically
+// through this struct ("a special library function", §III-D):
+//
+//   UCUDNN_BATCH_SIZE_POLICY     all | powerOfTwo | undivided   (powerOfTwo)
+//   UCUDNN_WORKSPACE_POLICY      wr | wd                        (wr)
+//   UCUDNN_WORKSPACE_LIMIT       per-kernel bytes, K/M/G suffix; overrides the
+//                                limit the framework passes (needed for
+//                                frameworks that never pass one, §IV-B2)
+//   UCUDNN_TOTAL_WORKSPACE_SIZE  WD total arena bytes           (64M)
+//   UCUDNN_WD_SOLVER             dp | ilp                       (dp)
+//   UCUDNN_CACHE_PATH            benchmark-cache database file  (unset = off)
+//   UCUDNN_BENCHMARK_DEVICES     parallel benchmarking fan-out  (1)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/types.h"
+
+namespace ucudnn::core {
+
+enum class WdSolver { kMckpDp, kBranchBoundIlp };
+
+struct Options {
+  BatchSizePolicy batch_size_policy = BatchSizePolicy::kPowerOfTwo;
+  WorkspacePolicy workspace_policy = WorkspacePolicy::kWR;
+  /// Per-kernel workspace limit override (WR). When set, wins over the limit
+  /// the framework passes to GetConvolution*Algorithm.
+  std::optional<std::size_t> workspace_limit;
+  /// Total arena size for WD.
+  std::size_t total_workspace_size = std::size_t{64} << 20;
+  WdSolver wd_solver = WdSolver::kMckpDp;
+  /// WR normally keeps one persistent workspace per kernel (§III-A: total
+  /// grows with the layer count). When execution is strictly sequential —
+  /// the TensorFlow-style integration — a single shared buffer sized to the
+  /// largest requirement is semantically identical and far smaller; set via
+  /// UCUDNN_SHARED_WORKSPACE=1.
+  bool share_wr_workspace = false;
+  /// File-backed benchmark cache (empty = in-memory only).
+  std::string cache_path;
+  /// Number of devices used for parallel micro-benchmark evaluation.
+  int benchmark_devices = 1;
+
+  /// Reads every field from the environment.
+  static Options from_env();
+};
+
+}  // namespace ucudnn::core

@@ -1,0 +1,91 @@
+// Core μ-cuDNN data model: micro-configurations, configurations, batch-size
+// policies and workspace policies — the vocabulary of §III of the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "kernels/conv_problem.h"
+
+namespace ucudnn::core {
+
+/// One micro-batch assignment: run `algo` on `batch` samples. A convolution
+/// kernel's "configuration" is a list of these covering the mini-batch
+/// (e.g. <c(64, FFT), c(64, FFT), c(128, GEMM)> in the paper's notation).
+struct MicroConfig {
+  int algo = -1;
+  std::int64_t batch = 0;
+  double time_ms = 0.0;
+  std::size_t workspace = 0;
+
+  bool operator==(const MicroConfig&) const = default;
+};
+
+/// A full division of the mini-batch. Micro-batches execute sequentially and
+/// share one workspace, so the configuration's footprint is the MAX of the
+/// micro workspaces while its cost is the SUM of the micro times.
+struct Configuration {
+  std::vector<MicroConfig> micro;
+  std::int64_t batch = 0;
+  double time_ms = 0.0;
+  std::size_t workspace = 0;
+
+  void append(const MicroConfig& m) {
+    micro.push_back(m);
+    batch += m.batch;
+    time_ms += m.time_ms;
+    workspace = std::max(workspace, m.workspace);
+  }
+
+  bool empty() const noexcept { return micro.empty(); }
+  std::size_t size() const noexcept { return micro.size(); }
+
+  /// Human-readable form like "[64:FFT, 64:FFT, 128:GEMM]".
+  std::string to_string(ConvKernelType type) const;
+};
+
+/// §III-D batch-size policies: which micro-batch sizes get benchmarked.
+enum class BatchSizePolicy { kAll, kPowerOfTwo, kUndivided };
+
+constexpr std::string_view to_string(BatchSizePolicy p) noexcept {
+  switch (p) {
+    case BatchSizePolicy::kAll: return "all";
+    case BatchSizePolicy::kPowerOfTwo: return "powerOfTwo";
+    case BatchSizePolicy::kUndivided: return "undivided";
+  }
+  return "unknown";
+}
+
+/// Parses "all" / "powerOfTwo" / "undivided" (throws kInvalidValue).
+BatchSizePolicy parse_batch_size_policy(const std::string& text);
+
+/// §III-A workspace policies.
+enum class WorkspacePolicy { kWR, kWD };
+
+constexpr std::string_view to_string(WorkspacePolicy p) noexcept {
+  return p == WorkspacePolicy::kWR ? "WR" : "WD";
+}
+
+WorkspacePolicy parse_workspace_policy(const std::string& text);
+
+/// Candidate micro-batch sizes for a mini-batch of `batch` under `policy`,
+/// ascending. powerOfTwo additionally contains `batch` itself when it is not
+/// a power of two, so every mini-batch remains coverable.
+std::vector<std::int64_t> candidate_micro_sizes(BatchSizePolicy policy,
+                                                std::int64_t batch);
+
+/// One convolution kernel instance a framework asked about: the unit of WD
+/// optimization ("kernel" in §III-C).
+struct KernelRequest {
+  ConvKernelType type = ConvKernelType::kForward;
+  kernels::ConvProblem problem;
+  std::string label;  // e.g. "conv2(Forward)" — used in reports
+
+  bool matches(ConvKernelType t, const kernels::ConvProblem& p) const {
+    return type == t && problem == p;
+  }
+};
+
+}  // namespace ucudnn::core

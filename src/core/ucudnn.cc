@@ -1,0 +1,414 @@
+#include "core/ucudnn.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace ucudnn::core {
+
+namespace {
+
+std::vector<mcudnn::Handle> make_bench_handles(
+    const std::shared_ptr<device::Device>& primary) {
+  return {mcudnn::Handle(primary)};
+}
+
+std::vector<mcudnn::Handle> make_bench_handles(const device::Node& node,
+                                               int count) {
+  std::vector<mcudnn::Handle> handles;
+  const std::size_t n =
+      std::min<std::size_t>(static_cast<std::size_t>(count), node.device_count());
+  handles.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    handles.emplace_back(node.device(i));
+  }
+  return handles;
+}
+
+std::shared_ptr<BenchmarkCache> make_cache(const Options& options) {
+  auto cache = std::make_shared<BenchmarkCache>();
+  if (!options.cache_path.empty()) cache->load_file(options.cache_path);
+  return cache;
+}
+
+}  // namespace
+
+DeviceBuffer::DeviceBuffer(std::shared_ptr<device::Device> dev,
+                           std::size_t bytes, const std::string& tag)
+    : dev_(std::move(dev)), bytes_(bytes) {
+  if (bytes_ > 0) ptr_ = dev_->allocate(bytes_, tag);
+}
+
+DeviceBuffer::~DeviceBuffer() {
+  if (dev_ && ptr_ != nullptr) dev_->deallocate(ptr_);
+}
+
+DeviceBuffer::DeviceBuffer(DeviceBuffer&& other) noexcept
+    : dev_(std::move(other.dev_)),
+      ptr_(std::exchange(other.ptr_, nullptr)),
+      bytes_(std::exchange(other.bytes_, 0)) {}
+
+DeviceBuffer& DeviceBuffer::operator=(DeviceBuffer&& other) noexcept {
+  if (this != &other) {
+    if (dev_ && ptr_ != nullptr) dev_->deallocate(ptr_);
+    dev_ = std::move(other.dev_);
+    ptr_ = std::exchange(other.ptr_, nullptr);
+    bytes_ = std::exchange(other.bytes_, 0);
+  }
+  return *this;
+}
+
+UcudnnHandle::UcudnnHandle()
+    : UcudnnHandle(std::make_shared<device::Device>(device::host_cpu_spec()),
+                   Options::from_env()) {}
+
+UcudnnHandle::UcudnnHandle(std::shared_ptr<device::Device> dev)
+    : UcudnnHandle(std::move(dev), Options::from_env()) {}
+
+UcudnnHandle::UcudnnHandle(std::shared_ptr<device::Device> dev, Options options)
+    : handle_(dev),
+      options_(std::move(options)),
+      benchmarker_(make_bench_handles(dev), make_cache(options_)) {}
+
+UcudnnHandle::UcudnnHandle(const device::Node& node, Options options)
+    : handle_(node.device(0)),
+      options_(std::move(options)),
+      benchmarker_(make_bench_handles(node, options_.benchmark_devices),
+                   make_cache(options_)) {}
+
+UcudnnHandle::~UcudnnHandle() {
+  if (!options_.cache_path.empty()) {
+    try {
+      benchmarker_.cache()->save_file(options_.cache_path);
+    } catch (const std::exception& e) {
+      UCUDNN_LOG_WARN << "failed to persist benchmark cache: " << e.what();
+    }
+  }
+}
+
+void UcudnnHandle::set_next_kernel_label(std::string label) {
+  next_label_ = std::move(label);
+}
+
+std::string UcudnnHandle::label_for(ConvKernelType type,
+                                    const kernels::ConvProblem& problem) const {
+  if (!next_label_.empty()) {
+    return next_label_ + "(" + std::string(to_string(type)) + ")";
+  }
+  std::ostringstream os;
+  os << "kernel" << requests_.size() << "(" << to_string(type) << ")";
+  (void)problem;
+  return os.str();
+}
+
+std::size_t UcudnnHandle::workspace_size(ConvKernelType type,
+                                         const kernels::ConvProblem& problem,
+                                         int algo) {
+  (void)type;
+  (void)problem;
+  (void)algo;
+  return 0;  // μ-cuDNN manages workspace internally.
+}
+
+std::string UcudnnHandle::wr_key(ConvKernelType type,
+                                 const kernels::ConvProblem& problem,
+                                 std::size_t limit) const {
+  std::ostringstream os;
+  os << to_string(type) << "|" << std::hex << problem.hash() << "|" << limit
+     << "|" << to_string(options_.batch_size_policy);
+  return os.str();
+}
+
+std::size_t UcudnnHandle::effective_limit(
+    ConvKernelType type, const kernels::ConvProblem& problem) const {
+  if (options_.workspace_limit) return *options_.workspace_limit;
+  const auto it = request_limits_.find(wr_key(type, problem, 0));
+  if (it != request_limits_.end()) return it->second;
+  return kDefaultPerKernelLimit;
+}
+
+int UcudnnHandle::get_algorithm(ConvKernelType type,
+                                const kernels::ConvProblem& problem,
+                                mcudnn::AlgoPreference preference,
+                                std::size_t ws_limit) {
+  // After WD finalization further queries are ignored (§III-E).
+  if (wd_finalized()) return kVirtualAlgo;
+
+  const std::size_t limit =
+      preference == mcudnn::AlgoPreference::kNoWorkspace ? 0
+      : preference == mcudnn::AlgoPreference::kPreferFastest
+          ? std::numeric_limits<std::size_t>::max()
+          : ws_limit;
+  // Remember the framework-provided limit keyed by kernel identity.
+  request_limits_[wr_key(type, problem, 0)] = limit;
+
+  // Record unique kernels for WD.
+  const bool seen = std::any_of(
+      requests_.begin(), requests_.end(),
+      [&](const KernelRequest& r) { return r.matches(type, problem); });
+  if (!seen) {
+    requests_.push_back(KernelRequest{type, problem, label_for(type, problem)});
+  }
+  next_label_.clear();
+  return kVirtualAlgo;
+}
+
+MicroBenchmark UcudnnHandle::benchmark(ConvKernelType type,
+                                       const kernels::ConvProblem& problem,
+                                       BatchSizePolicy policy) {
+  return benchmarker_.run(type, problem, policy);
+}
+
+UcudnnHandle::WrEntry& UcudnnHandle::wr_entry(
+    ConvKernelType type, const kernels::ConvProblem& problem) {
+  // Frameworks that never call GetConvolution*Algorithm (the TensorFlow
+  // integration style, §IV-B2) are recorded on first execution instead.
+  const bool seen = std::any_of(
+      requests_.begin(), requests_.end(),
+      [&](const KernelRequest& r) { return r.matches(type, problem); });
+  if (!seen) {
+    requests_.push_back(KernelRequest{type, problem, label_for(type, problem)});
+    next_label_.clear();
+  }
+  const std::size_t limit = effective_limit(type, problem);
+  const std::string key = wr_key(type, problem, limit);
+  auto it = wr_entries_.find(key);
+  if (it != wr_entries_.end()) return it->second;
+
+  const MicroBenchmark bench =
+      benchmarker_.run(type, problem, options_.batch_size_policy);
+  Timer timer;
+  Configuration config = optimize_wr(bench, problem.batch(), limit);
+  total_optimize_ms_ += timer.elapsed_ms();
+  UCUDNN_LOG_INFO << "WR " << to_string(type) << " " << problem.to_string()
+                  << " limit=" << limit << " -> " << config.to_string(type)
+                  << " time=" << config.time_ms
+                  << "ms ws=" << config.workspace;
+
+  // Tag workspace memory with the layer label when we know it.
+  std::string tag = "workspace";
+  for (const auto& request : requests_) {
+    if (request.matches(type, problem)) {
+      tag = request.label + ":ws";
+      break;
+    }
+  }
+  DeviceBuffer ws;
+  if (options_.share_wr_workspace) {
+    // Sequential execution: one shared buffer, grown to the largest need.
+    if (config.workspace > shared_ws_.size()) {
+      shared_ws_ = DeviceBuffer(handle_.device_ptr(), config.workspace,
+                                "shared:ws");
+    }
+  } else {
+    ws = DeviceBuffer(handle_.device_ptr(), config.workspace, tag);
+  }
+  auto [inserted, ok] =
+      wr_entries_.emplace(key, WrEntry{std::move(config), std::move(ws)});
+  (void)ok;
+  return inserted->second;
+}
+
+void UcudnnHandle::finalize_wd() {
+  if (wd_finalized()) return;
+  check(options_.workspace_policy == WorkspacePolicy::kWD,
+        Status::kBadParam, "finalize_wd requires UCUDNN_WORKSPACE_POLICY=wd");
+  Timer timer;
+  WdPlan plan =
+      optimize_wd(benchmarker_, requests_, options_.total_workspace_size,
+                  options_.batch_size_policy, options_.wd_solver);
+  total_optimize_ms_ += timer.elapsed_ms();
+  UCUDNN_LOG_INFO << "WD finalized: " << requests_.size() << " kernels, "
+                  << plan.num_variables << " ILP variables, arena "
+                  << plan.total_workspace << " bytes, solve "
+                  << plan.solve_ms << " ms";
+  wd_arena_ = DeviceBuffer(handle_.device_ptr(), plan.total_workspace,
+                           "wd_arena");
+  wd_plan_ = std::move(plan);
+}
+
+const WdAssignment* UcudnnHandle::wd_assignment(
+    ConvKernelType type, const kernels::ConvProblem& problem) const {
+  if (!wd_plan_) return nullptr;
+  for (std::size_t i = 0; i < requests_.size(); ++i) {
+    if (requests_[i].matches(type, problem)) {
+      return &wd_plan_->assignments[i];
+    }
+  }
+  return nullptr;
+}
+
+const Configuration* UcudnnHandle::configuration_for(
+    ConvKernelType type, const kernels::ConvProblem& problem) {
+  if (options_.workspace_policy == WorkspacePolicy::kWD) {
+    const WdAssignment* assignment = wd_assignment(type, problem);
+    return assignment ? &assignment->config : nullptr;
+  }
+  const std::size_t limit = effective_limit(type, problem);
+  const auto it = wr_entries_.find(wr_key(type, problem, limit));
+  return it != wr_entries_.end() ? &it->second.config : nullptr;
+}
+
+void UcudnnHandle::convolution(ConvKernelType type,
+                               const kernels::ConvProblem& problem, float alpha,
+                               const float* a, const float* b, float beta,
+                               float* out) {
+  if (options_.workspace_policy == WorkspacePolicy::kWD) {
+    if (!wd_finalized()) finalize_wd();
+    if (const WdAssignment* assignment = wd_assignment(type, problem)) {
+      char* arena = static_cast<char*>(wd_arena_.data());
+      execute_configuration(type, problem, assignment->config, alpha, a, b,
+                            beta, out,
+                            arena == nullptr ? nullptr
+                                             : arena + assignment->offset,
+                            assignment->config.workspace);
+      return;
+    }
+    UCUDNN_LOG_WARN << "WD: unrecorded kernel " << problem.to_string()
+                    << ", falling back to WR";
+  }
+  WrEntry& entry = wr_entry(type, problem);
+  if (options_.share_wr_workspace) {
+    execute_configuration(type, problem, entry.config, alpha, a, b, beta, out,
+                          shared_ws_.data(), shared_ws_.size());
+  } else {
+    execute_configuration(type, problem, entry.config, alpha, a, b, beta, out,
+                          entry.workspace.data(), entry.workspace.size());
+  }
+}
+
+void UcudnnHandle::execute_configuration(ConvKernelType type,
+                                         const kernels::ConvProblem& problem,
+                                         const Configuration& config,
+                                         float alpha, const float* a,
+                                         const float* b, float beta, float* out,
+                                         void* ws, std::size_t ws_bytes) {
+  check(config.batch == problem.batch(), Status::kInternalError,
+        "configuration does not cover the mini-batch");
+
+  const std::int64_t image_x = problem.x.c * problem.x.h * problem.x.w;
+  const std::int64_t image_y = problem.y.c * problem.y.h * problem.y.w;
+
+  // Per-micro-batch strides of the sliced operands (0 = operand not sliced).
+  std::int64_t a_stride = 0, out_stride = 0;
+  switch (type) {
+    case ConvKernelType::kForward:
+      a_stride = image_x;
+      out_stride = image_y;
+      break;
+    case ConvKernelType::kBackwardData:
+      a_stride = image_y;
+      out_stride = image_x;
+      break;
+    case ConvKernelType::kBackwardFilter:
+      a_stride = image_x;  // x slices; dy (operand b) slices via b_stride
+      out_stride = 0;      // dw accumulates in place
+      break;
+  }
+  const std::int64_t b_stride =
+      type == ConvKernelType::kBackwardFilter ? image_y : 0;
+
+  std::int64_t offset = 0;
+  bool first = true;
+  for (const MicroConfig& micro : config.micro) {
+    const kernels::ConvProblem sub = problem.with_batch(micro.batch);
+    const float* a_ptr = a == nullptr ? nullptr : a + offset * a_stride;
+    const float* b_ptr = b == nullptr ? nullptr : b + offset * b_stride;
+    float* out_ptr = out == nullptr ? nullptr : out + offset * out_stride;
+    // BackwardFilter accumulates across micro-batches (output scale trick).
+    const float micro_beta =
+        type == ConvKernelType::kBackwardFilter && !first ? 1.0f : beta;
+    mcudnn::convolution(handle_, type, sub, alpha, a_ptr, b_ptr, micro_beta,
+                        out_ptr, micro.algo, ws, ws_bytes);
+    offset += micro.batch;
+    first = false;
+  }
+}
+
+// --- cuDNN-shaped Status API ------------------------------------------------
+
+Status mcudnnGetConvolutionWorkspaceSize(UcudnnHandle& handle,
+                                         ConvKernelType type,
+                                         const TensorDesc& in,
+                                         const FilterDesc& w,
+                                         const ConvGeometry& conv,
+                                         const TensorDesc& out, int algo,
+                                         std::size_t* bytes) {
+  UCUDNN_API_BODY({
+    check_param(bytes != nullptr, "null output pointer");
+    *bytes = handle.workspace_size(
+        type, mcudnn::make_problem(type, in, w, conv, out), algo);
+  });
+}
+
+Status mcudnnGetConvolutionAlgorithm(UcudnnHandle& handle, ConvKernelType type,
+                                     const TensorDesc& in, const FilterDesc& w,
+                                     const ConvGeometry& conv,
+                                     const TensorDesc& out,
+                                     mcudnn::AlgoPreference preference,
+                                     std::size_t ws_limit, int* algo) {
+  UCUDNN_API_BODY({
+    check_param(algo != nullptr, "null output pointer");
+    *algo = handle.get_algorithm(
+        type, mcudnn::make_problem(type, in, w, conv, out), preference,
+        ws_limit);
+  });
+}
+
+Status mcudnnConvolutionForward(UcudnnHandle& handle, float alpha,
+                                const TensorDesc& x_desc, const float* x,
+                                const FilterDesc& w_desc, const float* w,
+                                const ConvGeometry& conv, int algo,
+                                void* workspace, std::size_t workspace_bytes,
+                                float beta, const TensorDesc& y_desc, float* y) {
+  (void)algo;
+  (void)workspace;
+  (void)workspace_bytes;
+  UCUDNN_API_BODY({
+    handle.convolution(ConvKernelType::kForward,
+                       mcudnn::make_problem(ConvKernelType::kForward, x_desc,
+                                            w_desc, conv, y_desc),
+                       alpha, x, w, beta, y);
+  });
+}
+
+Status mcudnnConvolutionBackwardData(UcudnnHandle& handle, float alpha,
+                                     const FilterDesc& w_desc, const float* w,
+                                     const TensorDesc& dy_desc, const float* dy,
+                                     const ConvGeometry& conv, int algo,
+                                     void* workspace,
+                                     std::size_t workspace_bytes, float beta,
+                                     const TensorDesc& dx_desc, float* dx) {
+  (void)algo;
+  (void)workspace;
+  (void)workspace_bytes;
+  UCUDNN_API_BODY({
+    handle.convolution(ConvKernelType::kBackwardData,
+                       mcudnn::make_problem(ConvKernelType::kBackwardData,
+                                            dy_desc, w_desc, conv, dx_desc),
+                       alpha, dy, w, beta, dx);
+  });
+}
+
+Status mcudnnConvolutionBackwardFilter(UcudnnHandle& handle, float alpha,
+                                       const TensorDesc& x_desc, const float* x,
+                                       const TensorDesc& dy_desc,
+                                       const float* dy, const ConvGeometry& conv,
+                                       int algo, void* workspace,
+                                       std::size_t workspace_bytes, float beta,
+                                       const FilterDesc& dw_desc, float* dw) {
+  (void)algo;
+  (void)workspace;
+  (void)workspace_bytes;
+  UCUDNN_API_BODY({
+    handle.convolution(ConvKernelType::kBackwardFilter,
+                       mcudnn::make_problem(ConvKernelType::kBackwardFilter,
+                                            x_desc, dw_desc, conv, dy_desc),
+                       alpha, x, dy, beta, dw);
+  });
+}
+
+}  // namespace ucudnn::core

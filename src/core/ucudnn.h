@@ -1,0 +1,246 @@
+// μ-cuDNN: the transparent wrapper (§III-D, §III-E).
+//
+// Integration mirrors the paper: replace the cuDNN handle type with
+// UcudnnHandle. The wrapper
+//  * answers GetConvolution*Algorithm with a virtual algorithm ID and
+//    GetConvolution*WorkspaceSize with zero, so the framework neither picks
+//    an algorithm nor allocates workspace itself;
+//  * records every kernel the framework asks about (the WD pipeline needs
+//    all layer parameters before the first real convolution, §III-E);
+//  * on Convolution* calls, lazily optimizes (WR: per-kernel DP; WD: global
+//    Pareto + ILP over all recorded kernels), allocates workspace internally
+//    (per-kernel buffers for WR, one segmented arena for WD), and executes
+//    the mini-batch as the optimized sequence of micro-batches — using
+//    beta-accumulation for BackwardFilter so semantics are unchanged;
+//  * delegates everything else to mcudnn via a cast operator to the wrapped
+//    handle, the same trick the paper uses.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/benchmarker.h"
+#include "core/options.h"
+#include "core/types.h"
+#include "core/wd_optimizer.h"
+#include "core/wr_optimizer.h"
+#include "mcudnn/mcudnn.h"
+
+namespace ucudnn::core {
+
+/// The algorithm ID μ-cuDNN hands back to frameworks; any value the
+/// framework echoes into Convolution* is ignored there.
+inline constexpr int kVirtualAlgo = 0;
+
+/// Default per-kernel workspace limit when neither the framework nor
+/// UCUDNN_WORKSPACE_LIMIT provides one (Caffe's 8 MiB default).
+inline constexpr std::size_t kDefaultPerKernelLimit = std::size_t{8} << 20;
+
+/// RAII buffer of tracked device memory.
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+  DeviceBuffer(std::shared_ptr<device::Device> dev, std::size_t bytes,
+               const std::string& tag);
+  ~DeviceBuffer();
+  DeviceBuffer(DeviceBuffer&& other) noexcept;
+  DeviceBuffer& operator=(DeviceBuffer&& other) noexcept;
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  void* data() const noexcept { return ptr_; }
+  std::size_t size() const noexcept { return bytes_; }
+
+ private:
+  std::shared_ptr<device::Device> dev_;
+  void* ptr_ = nullptr;
+  std::size_t bytes_ = 0;
+};
+
+/// UcudnnHandle_t equivalent.
+class UcudnnHandle {
+ public:
+  /// Host-CPU device, options from the environment.
+  UcudnnHandle();
+  explicit UcudnnHandle(std::shared_ptr<device::Device> dev);
+  UcudnnHandle(std::shared_ptr<device::Device> dev, Options options);
+  /// Multi-device node: device 0 executes; up to options.benchmark_devices
+  /// devices evaluate micro-benchmarks in parallel (§III-D).
+  UcudnnHandle(const device::Node& node, Options options);
+  ~UcudnnHandle();
+
+  UcudnnHandle(const UcudnnHandle&) = delete;
+  UcudnnHandle& operator=(const UcudnnHandle&) = delete;
+
+  /// The cast-operator integration trick: any API expecting the plain cuDNN
+  /// handle receives the wrapped one.
+  operator mcudnn::Handle&() noexcept { return handle_; }
+  mcudnn::Handle& base() noexcept { return handle_; }
+  const mcudnn::Handle& base() const noexcept { return handle_; }
+
+  device::Device& device() const noexcept { return handle_.device(); }
+  Options& options() noexcept { return options_; }
+  const Options& options() const noexcept { return options_; }
+
+  /// Optional label attached to the NEXT recorded kernel (layer name in
+  /// reports and memory tags).
+  void set_next_kernel_label(std::string label);
+
+  // --- wrapper API (problem level) -------------------------------------
+
+  /// Always 0: μ-cuDNN manages workspace internally.
+  std::size_t workspace_size(ConvKernelType type,
+                             const kernels::ConvProblem& problem, int algo);
+
+  /// Records the kernel (and the framework's workspace limit) and returns
+  /// the virtual algorithm ID.
+  int get_algorithm(ConvKernelType type, const kernels::ConvProblem& problem,
+                    mcudnn::AlgoPreference preference, std::size_t ws_limit);
+
+  /// Runs the optimized micro-batched convolution.
+  void convolution(ConvKernelType type, const kernels::ConvProblem& problem,
+                   float alpha, const float* a, const float* b, float beta,
+                   float* out);
+
+  // --- WD control (§III-E) ---------------------------------------------
+
+  /// Freezes the recorded kernel list and runs WD optimization now
+  /// (otherwise it runs at the first Convolution* call). Subsequent
+  /// GetConvolution*Algorithm calls are ignored, as in the paper's Caffe
+  /// integration.
+  void finalize_wd();
+  bool wd_finalized() const noexcept { return wd_plan_.has_value(); }
+  const WdPlan* wd_plan() const noexcept {
+    return wd_plan_ ? &*wd_plan_ : nullptr;
+  }
+
+  // --- introspection (benches, tests) ----------------------------------
+
+  /// The configuration that will run / ran for this kernel (null before
+  /// optimization).
+  const Configuration* configuration_for(ConvKernelType type,
+                                         const kernels::ConvProblem& problem);
+
+  /// Recorded kernel requests, in registration order.
+  const std::vector<KernelRequest>& recorded_kernels() const noexcept {
+    return requests_;
+  }
+
+  /// Direct benchmark access (e.g. to plot a Fig. 8 Pareto front).
+  MicroBenchmark benchmark(ConvKernelType type,
+                           const kernels::ConvProblem& problem,
+                           BatchSizePolicy policy);
+
+  /// Wall time spent benchmarking micro-configurations so far.
+  double total_benchmark_ms() const noexcept {
+    return benchmarker_.total_benchmark_ms();
+  }
+  /// Wall time spent in DP/ILP optimization so far (excludes benchmarking).
+  double total_optimize_ms() const noexcept { return total_optimize_ms_; }
+
+  const std::shared_ptr<BenchmarkCache>& cache() const noexcept {
+    return benchmarker_.cache();
+  }
+
+ private:
+  struct WrEntry {
+    Configuration config;
+    DeviceBuffer workspace;
+  };
+
+  std::string wr_key(ConvKernelType type, const kernels::ConvProblem& problem,
+                     std::size_t limit) const;
+  std::size_t effective_limit(ConvKernelType type,
+                              const kernels::ConvProblem& problem) const;
+  WrEntry& wr_entry(ConvKernelType type, const kernels::ConvProblem& problem);
+  const WdAssignment* wd_assignment(ConvKernelType type,
+                                    const kernels::ConvProblem& problem) const;
+  void execute_configuration(ConvKernelType type,
+                             const kernels::ConvProblem& problem,
+                             const Configuration& config, float alpha,
+                             const float* a, const float* b, float beta,
+                             float* out, void* ws, std::size_t ws_bytes);
+  std::string label_for(ConvKernelType type,
+                        const kernels::ConvProblem& problem) const;
+
+  mcudnn::Handle handle_;
+  Options options_;
+  Benchmarker benchmarker_;
+  std::vector<KernelRequest> requests_;             // unique kernels
+  std::map<std::string, std::size_t> request_limits_;  // wr_key -> limit
+  std::map<std::string, WrEntry> wr_entries_;
+  DeviceBuffer shared_ws_;  // used when options_.share_wr_workspace
+  std::optional<WdPlan> wd_plan_;
+  DeviceBuffer wd_arena_;
+  std::string next_label_;
+  double total_optimize_ms_ = 0.0;
+};
+
+// --- free-function overloads mirroring the mcudnn problem-level API -------
+// (a framework written generically against `get_algorithm(handle, ...)`
+// works with either handle type).
+
+inline std::size_t workspace_size(UcudnnHandle& handle, ConvKernelType type,
+                                  const kernels::ConvProblem& p, int algo) {
+  return handle.workspace_size(type, p, algo);
+}
+
+inline int get_algorithm(
+    UcudnnHandle& handle, ConvKernelType type, const kernels::ConvProblem& p,
+    mcudnn::AlgoPreference preference,
+    std::size_t ws_limit = std::numeric_limits<std::size_t>::max()) {
+  return handle.get_algorithm(type, p, preference, ws_limit);
+}
+
+inline void convolution(UcudnnHandle& handle, ConvKernelType type,
+                        const kernels::ConvProblem& p, float alpha,
+                        const float* a, const float* b, float beta, float* out,
+                        int /*algo*/, void* /*workspace*/,
+                        std::size_t /*workspace_bytes*/) {
+  handle.convolution(type, p, alpha, a, b, beta, out);
+}
+
+// --- cuDNN-shaped Status API for UcudnnHandle ------------------------------
+
+Status mcudnnGetConvolutionWorkspaceSize(UcudnnHandle& handle,
+                                         ConvKernelType type,
+                                         const TensorDesc& in,
+                                         const FilterDesc& w,
+                                         const ConvGeometry& conv,
+                                         const TensorDesc& out, int algo,
+                                         std::size_t* bytes);
+
+Status mcudnnGetConvolutionAlgorithm(UcudnnHandle& handle, ConvKernelType type,
+                                     const TensorDesc& in, const FilterDesc& w,
+                                     const ConvGeometry& conv,
+                                     const TensorDesc& out,
+                                     mcudnn::AlgoPreference preference,
+                                     std::size_t ws_limit, int* algo);
+
+Status mcudnnConvolutionForward(UcudnnHandle& handle, float alpha,
+                                const TensorDesc& x_desc, const float* x,
+                                const FilterDesc& w_desc, const float* w,
+                                const ConvGeometry& conv, int algo,
+                                void* workspace, std::size_t workspace_bytes,
+                                float beta, const TensorDesc& y_desc, float* y);
+
+Status mcudnnConvolutionBackwardData(UcudnnHandle& handle, float alpha,
+                                     const FilterDesc& w_desc, const float* w,
+                                     const TensorDesc& dy_desc, const float* dy,
+                                     const ConvGeometry& conv, int algo,
+                                     void* workspace,
+                                     std::size_t workspace_bytes, float beta,
+                                     const TensorDesc& dx_desc, float* dx);
+
+Status mcudnnConvolutionBackwardFilter(UcudnnHandle& handle, float alpha,
+                                       const TensorDesc& x_desc, const float* x,
+                                       const TensorDesc& dy_desc,
+                                       const float* dy, const ConvGeometry& conv,
+                                       int algo, void* workspace,
+                                       std::size_t workspace_bytes, float beta,
+                                       const FilterDesc& dw_desc, float* dw);
+
+}  // namespace ucudnn::core

@@ -1,0 +1,100 @@
+#include "core/wd_optimizer.h"
+
+#include <cmath>
+
+#include "common/mathutil.h"
+#include "common/status.h"
+#include "common/timer.h"
+#include "core/wr_optimizer.h"
+#include "ilp/ilp.h"
+
+namespace ucudnn::core {
+
+WdPlan optimize_wd(Benchmarker& benchmarker,
+                   const std::vector<KernelRequest>& requests,
+                   std::size_t total_limit, BatchSizePolicy policy,
+                   WdSolver solver) {
+  WdPlan plan;
+  if (requests.empty()) return plan;
+
+  // Per-kernel desirable sets (identical kernels share benchmark results via
+  // the cache, e.g. ResNet's replicated layers).
+  std::vector<std::vector<Configuration>> fronts;
+  fronts.reserve(requests.size());
+  for (const auto& request : requests) {
+    const MicroBenchmark bench =
+        benchmarker.run(request.type, request.problem, policy);
+    auto front = desirable_configurations(bench, request.problem.batch(),
+                                          total_limit);
+    check(!front.empty(), Status::kNotSupported,
+          "no feasible configuration for kernel " + request.label);
+    // Estimate of the unpruned candidate count for the ablation report:
+    // algorithms-per-size ^ divisions is astronomical; we report the sum of
+    // benchmarked micro-configs as a conservative proxy instead.
+    std::size_t micro_count = 0;
+    for (const auto& perfs : bench.perfs) micro_count += perfs.size();
+    plan.num_variables_unpruned += micro_count;
+    plan.num_variables += front.size();
+    fronts.push_back(std::move(front));
+  }
+
+  // Assemble the multiple-choice knapsack. Weights are segment-aligned so
+  // that the arena layout never overruns the limit.
+  ilp::MckpProblem mckp;
+  mckp.capacity = static_cast<std::int64_t>(total_limit);
+  mckp.groups.reserve(fronts.size());
+  for (const auto& front : fronts) {
+    std::vector<ilp::MckpItem> group;
+    group.reserve(front.size());
+    for (const auto& config : front) {
+      group.push_back(ilp::MckpItem{
+          config.time_ms,
+          static_cast<std::int64_t>(round_up(config.workspace, kWdAlignment))});
+    }
+    mckp.groups.push_back(std::move(group));
+  }
+
+  Timer timer;
+  std::vector<int> selection;
+  if (solver == WdSolver::kMckpDp) {
+    const ilp::MckpResult result = ilp::solve_mckp(mckp);
+    check(result.feasible, Status::kNotSupported,
+          "WD ILP infeasible for total workspace limit " +
+              std::to_string(total_limit));
+    selection = result.selection;
+  } else {
+    const ilp::IlpResult result = ilp::solve_binary_ilp(ilp::mckp_to_ilp(mckp));
+    check(result.feasible, Status::kNotSupported,
+          "WD ILP infeasible for total workspace limit " +
+              std::to_string(total_limit));
+    // Decode flattened 0-1 variables back to per-group choices.
+    selection.assign(mckp.groups.size(), -1);
+    std::size_t offset = 0;
+    for (std::size_t g = 0; g < mckp.groups.size(); ++g) {
+      for (std::size_t i = 0; i < mckp.groups[g].size(); ++i) {
+        if (result.x[offset + i] == 1) selection[g] = static_cast<int>(i);
+      }
+      offset += mckp.groups[g].size();
+    }
+  }
+  plan.solve_ms = timer.elapsed_ms();
+
+  // Lay out arena segments in request order.
+  std::size_t cursor = 0;
+  plan.assignments.reserve(requests.size());
+  for (std::size_t g = 0; g < fronts.size(); ++g) {
+    check(selection[g] >= 0, Status::kInternalError, "WD selection incomplete");
+    WdAssignment assignment;
+    assignment.config = fronts[g][static_cast<std::size_t>(selection[g])];
+    assignment.offset = cursor;
+    cursor += round_up(assignment.config.workspace, kWdAlignment);
+    plan.total_time_ms += assignment.config.time_ms;
+    plan.assignments.push_back(std::move(assignment));
+  }
+  plan.total_workspace = cursor;
+  check(plan.total_workspace <= total_limit, Status::kInternalError,
+        "WD arena layout exceeds the limit");
+  return plan;
+}
+
+}  // namespace ucudnn::core

@@ -1,0 +1,47 @@
+// WD (Workspace Division) optimization, §III-C of the paper: one workspace
+// arena per network, divided among all convolution kernels. Per-kernel
+// desirable-configuration sets (Pareto fronts) feed a 0-1 ILP
+//
+//   min  Σ_k Σ_{c ∈ D_k} t_{k,c} · x_{k,c}
+//   s.t. Σ_k Σ_c m_{k,c} · x_{k,c} ≤ W_total,   Σ_c x_{k,c} = 1  ∀k,
+//
+// solved either by the exact multiple-choice-knapsack DP (default; the
+// GLPK-replacement path) or by branch-and-bound over simplex relaxations.
+#pragma once
+
+#include <vector>
+
+#include "core/benchmarker.h"
+#include "core/options.h"
+#include "core/types.h"
+
+namespace ucudnn::core {
+
+/// One kernel's outcome: its chosen configuration and the byte range
+/// [offset, offset + config.workspace) it owns inside the shared arena.
+struct WdAssignment {
+  Configuration config;
+  std::size_t offset = 0;
+};
+
+struct WdPlan {
+  std::vector<WdAssignment> assignments;  // parallel to the request list
+  std::size_t total_workspace = 0;        // arena bytes actually used
+  double total_time_ms = 0.0;             // Σ configured kernel times
+  std::size_t num_variables = 0;          // ILP size after Pareto pruning
+  std::size_t num_variables_unpruned = 0; // |A|-per-division upper bound proxy
+  double solve_ms = 0.0;                  // ILP/DP solve wall time
+};
+
+/// Runs the full WD pipeline: benchmark -> desirable sets -> ILP -> segment
+/// assignment. Throws Error(kNotSupported) if no feasible division exists
+/// (cannot happen when zero-workspace algorithms are available).
+WdPlan optimize_wd(Benchmarker& benchmarker,
+                   const std::vector<KernelRequest>& requests,
+                   std::size_t total_limit, BatchSizePolicy policy,
+                   WdSolver solver);
+
+/// Workspace segment alignment inside the WD arena.
+inline constexpr std::size_t kWdAlignment = 256;
+
+}  // namespace ucudnn::core

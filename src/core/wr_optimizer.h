@@ -1,0 +1,42 @@
+// WR (Workspace Reuse) optimization, §III-B of the paper: dynamic
+// programming over micro-batch divisions,
+//
+//   T(0) = 0,
+//   T(b) = min( t*(b), min_{0 < b' < b} ( T(b - b') + t*(b') ) ),
+//
+// where t*(b') is the fastest benchmarked micro-configuration of size b'
+// whose workspace fits the per-kernel limit. Micro-batches run sequentially
+// and share one workspace, so a configuration's footprint is the max of its
+// micro workspaces.
+//
+// This header also provides the set-valued variant of the same DP that emits
+// a desirable-configuration set — the Pareto front in (time x workspace)
+// space (§III-C1) — consumed by the WD ILP.
+#pragma once
+
+#include <vector>
+
+#include "core/benchmarker.h"
+#include "core/types.h"
+
+namespace ucudnn::core {
+
+/// Fastest configuration for the full mini-batch under `ws_limit`.
+/// Throws Error(kNotSupported) when no algorithm fits the limit at any
+/// candidate size (e.g. limit 0 with only workspace-requiring algorithms —
+/// cannot happen here since zero-workspace algorithms always exist).
+Configuration optimize_wr(const MicroBenchmark& bench, std::int64_t batch,
+                          std::size_t ws_limit);
+
+/// Removes Pareto-dominated entries in-place: afterwards, configurations are
+/// sorted by workspace ascending with strictly decreasing execution time.
+void pareto_prune(std::vector<Configuration>& configs);
+
+/// Desirable configuration set D(batch): every Pareto-optimal division of
+/// the mini-batch with workspace at most `ws_cap` (the WD total limit).
+/// Contains the WR optimum as one of its elements.
+std::vector<Configuration> desirable_configurations(const MicroBenchmark& bench,
+                                                    std::int64_t batch,
+                                                    std::size_t ws_cap);
+
+}  // namespace ucudnn::core

@@ -1,0 +1,121 @@
+#include "fft/fft.h"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/mathutil.h"
+#include "common/status.h"
+
+namespace ucudnn::fft {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+// Bit-reversal permutation for the iterative radix-2 kernel.
+void bit_reverse(Complex* data, std::size_t n) {
+  std::size_t j = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+}
+
+// Bluestein chirp-z transform: expresses an arbitrary-length DFT as a
+// power-of-two circular convolution.
+void fft_bluestein(Complex* data, std::size_t n, bool inverse) {
+  const std::size_t m = next_pow2(2 * n + 1);
+  const double sign = inverse ? 1.0 : -1.0;
+
+  // Chirp w[k] = exp(sign * i * pi * k^2 / n).
+  std::vector<Complex> chirp(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // k^2 mod 2n keeps the angle argument small for large k.
+    const std::size_t k2 = (static_cast<unsigned long long>(k) * k) % (2 * n);
+    const double angle = sign * kPi * static_cast<double>(k2) / n;
+    chirp[k] = Complex(static_cast<float>(std::cos(angle)),
+                       static_cast<float>(std::sin(angle)));
+  }
+
+  std::vector<Complex> a(m, Complex(0, 0));
+  std::vector<Complex> b(m, Complex(0, 0));
+  for (std::size_t k = 0; k < n; ++k) a[k] = data[k] * chirp[k];
+  b[0] = std::conj(chirp[0]);
+  for (std::size_t k = 1; k < n; ++k) {
+    b[k] = b[m - k] = std::conj(chirp[k]);
+  }
+
+  fft_pow2(a.data(), m, false);
+  fft_pow2(b.data(), m, false);
+  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
+  fft_pow2(a.data(), m, true);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex value = a[k] * chirp[k];
+    if (inverse) value /= static_cast<float>(n);
+    data[k] = value;
+  }
+}
+
+}  // namespace
+
+void fft_pow2(Complex* data, std::size_t n, bool inverse) {
+  check_param(is_pow2(n), "fft_pow2 requires a power-of-two length");
+  if (n == 1) return;
+  bit_reverse(data, n);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * kPi / static_cast<double>(len);
+    const Complex wlen(static_cast<float>(std::cos(angle)),
+                       static_cast<float>(std::sin(angle)));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1, 0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const float scale = 1.0f / static_cast<float>(n);
+    for (std::size_t i = 0; i < n; ++i) data[i] *= scale;
+  }
+}
+
+void fft(Complex* data, std::size_t n, bool inverse) {
+  check_param(n >= 1, "fft length must be >= 1");
+  if (is_pow2(n)) {
+    fft_pow2(data, n, inverse);
+  } else {
+    fft_bluestein(data, n, inverse);
+  }
+}
+
+void fft2d(Complex* data, std::size_t rows, std::size_t cols, bool inverse) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    fft(data + r * cols, cols, inverse);
+  }
+  std::vector<Complex> column(rows);
+  for (std::size_t c = 0; c < cols; ++c) {
+    for (std::size_t r = 0; r < rows; ++r) column[r] = data[r * cols + c];
+    fft(column.data(), rows, inverse);
+    for (std::size_t r = 0; r < rows; ++r) data[r * cols + c] = column[r];
+  }
+}
+
+void multiply_accumulate(const Complex* a, const Complex* b, Complex* y,
+                         std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += a[i] * b[i];
+}
+
+void multiply_conj_accumulate(const Complex* a, const Complex* b, Complex* y,
+                              std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += a[i] * std::conj(b[i]);
+}
+
+}  // namespace ucudnn::fft

@@ -1,0 +1,32 @@
+// FFT substrate used by the FFT-based convolution algorithms.
+//
+// Provides an in-place iterative radix-2 complex FFT for power-of-two sizes,
+// a Bluestein chirp-z fallback for arbitrary sizes, and a row-major 2-D
+// transform. Inverse transforms are normalized by 1/n.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+
+namespace ucudnn::fft {
+
+using Complex = std::complex<float>;
+
+/// In-place complex FFT of power-of-two length (throws kBadParam otherwise).
+void fft_pow2(Complex* data, std::size_t n, bool inverse);
+
+/// In-place complex FFT of arbitrary length (radix-2 or Bluestein).
+void fft(Complex* data, std::size_t n, bool inverse);
+
+/// In-place 2-D FFT of a row-major rows x cols matrix (arbitrary sizes).
+void fft2d(Complex* data, std::size_t rows, std::size_t cols, bool inverse);
+
+/// y[i] += a[i] * b[i] for complex vectors (frequency-domain convolution).
+void multiply_accumulate(const Complex* a, const Complex* b, Complex* y,
+                         std::size_t n);
+
+/// y[i] += a[i] * conj(b[i]) (frequency-domain cross-correlation).
+void multiply_conj_accumulate(const Complex* a, const Complex* b, Complex* y,
+                              std::size_t n);
+
+}  // namespace ucudnn::fft

@@ -1,0 +1,202 @@
+#include "frameworks/caffepp/model_zoo.h"
+
+#include <string>
+
+namespace ucudnn::caffepp {
+
+namespace {
+
+// conv -> batchnorm -> relu, the ResNet/DenseNet building unit.
+std::string conv_bn_relu(Net& net, const std::string& prefix,
+                         const std::string& bottom, std::int64_t channels,
+                         std::int64_t kernel, std::int64_t stride,
+                         std::int64_t pad, bool with_relu = true) {
+  std::string top =
+      net.conv(prefix, bottom, channels, kernel, stride, pad, /*bias=*/false);
+  top = net.batch_norm(prefix + "_bn", top);
+  if (with_relu) top = net.relu(prefix + "_relu", top);
+  return top;
+}
+
+// Basic (two 3x3) residual block, ResNet-18/34 style.
+std::string basic_block(Net& net, const std::string& prefix,
+                        const std::string& bottom, std::int64_t channels,
+                        std::int64_t stride) {
+  std::string branch =
+      conv_bn_relu(net, prefix + "_conv1", bottom, channels, 3, stride, 1);
+  branch = conv_bn_relu(net, prefix + "_conv2", branch, channels, 3, 1, 1,
+                        /*with_relu=*/false);
+  std::string shortcut = bottom;
+  if (stride != 1 || net.blob(bottom)->shape().c != channels) {
+    shortcut = conv_bn_relu(net, prefix + "_down", bottom, channels, 1, stride,
+                            0, /*with_relu=*/false);
+  }
+  std::string top = net.eltwise_sum(prefix + "_sum", branch, shortcut);
+  return net.relu(prefix + "_out", top);
+}
+
+// Bottleneck (1x1 -> 3x3 -> 1x1) residual block, ResNet-50 style.
+std::string bottleneck_block(Net& net, const std::string& prefix,
+                             const std::string& bottom, std::int64_t channels,
+                             std::int64_t stride) {
+  std::string branch =
+      conv_bn_relu(net, prefix + "_conv1", bottom, channels, 1, 1, 0);
+  branch = conv_bn_relu(net, prefix + "_conv2", branch, channels, 3, stride, 1);
+  branch = conv_bn_relu(net, prefix + "_conv3", branch, channels * 4, 1, 1, 0,
+                        /*with_relu=*/false);
+  std::string shortcut = bottom;
+  if (stride != 1 || net.blob(bottom)->shape().c != channels * 4) {
+    shortcut = conv_bn_relu(net, prefix + "_down", bottom, channels * 4, 1,
+                            stride, 0, /*with_relu=*/false);
+  }
+  std::string top = net.eltwise_sum(prefix + "_sum", branch, shortcut);
+  return net.relu(prefix + "_out", top);
+}
+
+}  // namespace
+
+std::string build_alexnet(Net& net, std::int64_t batch, std::int64_t classes) {
+  std::string top = net.input("data", {batch, 3, 227, 227});
+  top = net.conv("conv1", top, 96, 11, 4, 0);
+  top = net.relu("relu1", top);
+  top = net.lrn("norm1", top);
+  top = net.pool_max("pool1", top, 3, 2);
+  top = net.conv("conv2", top, 256, 5, 1, 2);
+  top = net.relu("relu2", top);
+  top = net.lrn("norm2", top);
+  top = net.pool_max("pool2", top, 3, 2);
+  top = net.conv("conv3", top, 384, 3, 1, 1);
+  top = net.relu("relu3", top);
+  top = net.conv("conv4", top, 384, 3, 1, 1);
+  top = net.relu("relu4", top);
+  top = net.conv("conv5", top, 256, 3, 1, 1);
+  top = net.relu("relu5", top);
+  top = net.pool_max("pool5", top, 3, 2);
+  top = net.fc("fc6", top, 4096);
+  top = net.relu("relu6", top);
+  top = net.dropout("drop6", top);
+  top = net.fc("fc7", top, 4096);
+  top = net.relu("relu7", top);
+  top = net.dropout("drop7", top);
+  top = net.fc("fc8", top, classes);
+  return net.softmax_loss("loss", top);
+}
+
+std::string build_alexnet_grouped(Net& net, std::int64_t batch,
+                                  std::int64_t classes) {
+  std::string top = net.input("data", {batch, 3, 227, 227});
+  top = net.conv("conv1", top, 96, 11, 4, 0);
+  top = net.relu("relu1", top);
+  top = net.lrn("norm1", top);
+  top = net.pool_max("pool1", top, 3, 2);
+  top = net.conv("conv2", top, 256, 5, 1, 2, /*bias=*/true, /*groups=*/2);
+  top = net.relu("relu2", top);
+  top = net.lrn("norm2", top);
+  top = net.pool_max("pool2", top, 3, 2);
+  top = net.conv("conv3", top, 384, 3, 1, 1);
+  top = net.relu("relu3", top);
+  top = net.conv("conv4", top, 384, 3, 1, 1, /*bias=*/true, /*groups=*/2);
+  top = net.relu("relu4", top);
+  top = net.conv("conv5", top, 256, 3, 1, 1, /*bias=*/true, /*groups=*/2);
+  top = net.relu("relu5", top);
+  top = net.pool_max("pool5", top, 3, 2);
+  top = net.fc("fc6", top, 4096);
+  top = net.relu("relu6", top);
+  top = net.dropout("drop6", top);
+  top = net.fc("fc7", top, 4096);
+  top = net.relu("relu7", top);
+  top = net.dropout("drop7", top);
+  top = net.fc("fc8", top, classes);
+  return net.softmax_loss("loss", top);
+}
+
+std::string build_resnet18(Net& net, std::int64_t batch, std::int64_t classes) {
+  std::string top = net.input("data", {batch, 3, 224, 224});
+  top = conv_bn_relu(net, "conv1", top, 64, 7, 2, 3);
+  top = net.pool_max("pool1", top, 3, 2, 1);
+  static constexpr std::int64_t kChannels[] = {64, 128, 256, 512};
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int block = 0; block < 2; ++block) {
+      const std::int64_t stride = (stage > 0 && block == 0) ? 2 : 1;
+      top = basic_block(net,
+                        "res" + std::to_string(stage + 2) +
+                            static_cast<char>('a' + block),
+                        top, kChannels[stage], stride);
+    }
+  }
+  top = net.pool_avg("pool5", top, 7, 1);
+  top = net.fc("fc", top, classes);
+  return net.softmax_loss("loss", top);
+}
+
+std::string build_resnet50(Net& net, std::int64_t batch, std::int64_t classes) {
+  std::string top = net.input("data", {batch, 3, 224, 224});
+  top = conv_bn_relu(net, "conv1", top, 64, 7, 2, 3);
+  top = net.pool_max("pool1", top, 3, 2, 1);
+  static constexpr std::int64_t kChannels[] = {64, 128, 256, 512};
+  static constexpr int kBlocks[] = {3, 4, 6, 3};
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int block = 0; block < kBlocks[stage]; ++block) {
+      const std::int64_t stride = (stage > 0 && block == 0) ? 2 : 1;
+      top = bottleneck_block(net,
+                             "res" + std::to_string(stage + 2) +
+                                 static_cast<char>('a' + block),
+                             top, kChannels[stage], stride);
+    }
+  }
+  top = net.pool_avg("pool5", top, 7, 1);
+  top = net.fc("fc", top, classes);
+  return net.softmax_loss("loss", top);
+}
+
+std::string build_densenet40(Net& net, std::int64_t batch, std::int64_t growth,
+                             std::int64_t classes) {
+  std::string top = net.input("data", {batch, 3, 32, 32});
+  top = net.conv("conv0", top, 2 * growth, 3, 1, 1, /*bias=*/false);
+  for (int block = 0; block < 3; ++block) {
+    for (int layer = 0; layer < 12; ++layer) {
+      const std::string prefix = "dense" + std::to_string(block + 1) + "_" +
+                                 std::to_string(layer + 1);
+      std::string branch = net.batch_norm(prefix + "_bn", top);
+      branch = net.relu(prefix + "_relu", branch);
+      branch =
+          net.conv(prefix + "_conv", branch, growth, 3, 1, 1, /*bias=*/false);
+      top = net.concat(prefix + "_concat", {top, branch});
+    }
+    if (block < 2) {
+      const std::string prefix = "trans" + std::to_string(block + 1);
+      std::string t = net.batch_norm(prefix + "_bn", top);
+      t = net.relu(prefix + "_relu", t);
+      t = net.conv(prefix + "_conv", t, net.blob(t)->shape().c, 1, 1, 0,
+                   /*bias=*/false);
+      top = net.pool_avg(prefix + "_pool", t, 2, 2);
+    }
+  }
+  std::string t = net.batch_norm("final_bn", top);
+  t = net.relu("final_relu", t);
+  t = net.pool_avg("global_pool", t, net.blob(t)->shape().h, 1);
+  t = net.fc("fc", t, classes);
+  return net.softmax_loss("loss", t);
+}
+
+std::string build_inception_module(Net& net, const std::string& bottom,
+                                   const std::string& prefix) {
+  // GoogLeNet inception(3a) channel mix: 64 + (96->128) + (16->32) + 32.
+  const std::string b1 = net.relu(prefix + "_1x1_relu",
+                                  net.conv(prefix + "_1x1", bottom, 64, 1),
+                                  /*in_place=*/true);
+  std::string b2 = net.conv(prefix + "_3x3_reduce", bottom, 96, 1);
+  b2 = net.relu(prefix + "_3x3_reduce_relu", b2);
+  b2 = net.conv(prefix + "_3x3", b2, 128, 3, 1, 1);
+  b2 = net.relu(prefix + "_3x3_relu", b2);
+  std::string b3 = net.conv(prefix + "_5x5_reduce", bottom, 16, 1);
+  b3 = net.relu(prefix + "_5x5_reduce_relu", b3);
+  b3 = net.conv(prefix + "_5x5", b3, 32, 5, 1, 2);
+  b3 = net.relu(prefix + "_5x5_relu", b3);
+  std::string b4 = net.pool_max(prefix + "_pool", bottom, 3, 1, 1);
+  b4 = net.conv(prefix + "_pool_proj", b4, 32, 1);
+  b4 = net.relu(prefix + "_pool_proj_relu", b4);
+  return net.concat(prefix + "_output", {b1, b2, b3, b4});
+}
+
+}  // namespace ucudnn::caffepp

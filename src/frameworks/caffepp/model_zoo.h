@@ -1,0 +1,40 @@
+// Model zoo: the networks the paper evaluates. Shapes match the public
+// definitions the paper references (Caffe AlexNet without grouping,
+// NVCaffe ResNet-18/50, DenseNet-BC-style DenseNet-40 with k = 40 feature
+// maps per layer on CIFAR, and a GoogLeNet-style Inception module).
+#pragma once
+
+#include "frameworks/caffepp/net.h"
+
+namespace ucudnn::caffepp {
+
+/// Single-column AlexNet for 227x227 ImageNet input (conv1..conv5 +
+/// fc6..fc8). Returns the final blob name.
+std::string build_alexnet(Net& net, std::int64_t batch,
+                          std::int64_t classes = 1000);
+
+/// The original two-tower AlexNet (Krizhevsky 2012): conv2/4/5 grouped with
+/// groups = 2. Grouped kernels restrict μ-cuDNN to the implicit algorithm
+/// family, as with real cuDNN.
+std::string build_alexnet_grouped(Net& net, std::int64_t batch,
+                                  std::int64_t classes = 1000);
+
+/// ResNet-18 for 224x224 input.
+std::string build_resnet18(Net& net, std::int64_t batch,
+                           std::int64_t classes = 1000);
+
+/// ResNet-50 (bottleneck blocks) for 224x224 input.
+std::string build_resnet50(Net& net, std::int64_t batch,
+                           std::int64_t classes = 1000);
+
+/// DenseNet-40 (3 dense blocks x 12 layers, growth rate k) for 32x32 CIFAR.
+std::string build_densenet40(Net& net, std::int64_t batch,
+                             std::int64_t growth = 40,
+                             std::int64_t classes = 10);
+
+/// One GoogLeNet "inception (3a)"-style module on a given input blob; used
+/// by the WD example (parallel branches sharing one workspace arena).
+std::string build_inception_module(Net& net, const std::string& bottom,
+                                   const std::string& prefix);
+
+}  // namespace ucudnn::caffepp

@@ -1,0 +1,127 @@
+#include "frameworks/tfmini/models.h"
+
+#include <string>
+
+namespace ucudnn::tfmini {
+
+namespace {
+
+// conv2d with its filter variable, then batch norm + relu.
+int conv_bn_relu(Graph& g, const std::string& name, int input,
+                 std::int64_t out_channels, std::int64_t kernel,
+                 std::int64_t stride, bool with_relu = true) {
+  const std::int64_t in_channels = g.op(input).shape.c;
+  const int w = g.variable(name + "/weights",
+                           {out_channels, in_channels, kernel, kernel});
+  int top = g.conv2d(name, input, w, stride, Padding::kSame);
+  top = g.batch_norm(name + "/bn", top);
+  if (with_relu) top = g.relu(name + "/relu", top);
+  return top;
+}
+
+int bottleneck(Graph& g, const std::string& name, int input,
+               std::int64_t channels, std::int64_t stride) {
+  int branch = conv_bn_relu(g, name + "/conv1", input, channels, 1, 1);
+  branch = conv_bn_relu(g, name + "/conv2", branch, channels, 3, stride);
+  branch = conv_bn_relu(g, name + "/conv3", branch, channels * 4, 1, 1,
+                        /*with_relu=*/false);
+  int shortcut = input;
+  if (stride != 1 || g.op(input).shape.c != channels * 4) {
+    shortcut = conv_bn_relu(g, name + "/down", input, channels * 4, 1, stride,
+                            /*with_relu=*/false);
+  }
+  const int sum = g.add(name + "/add", branch, shortcut);
+  return g.relu(name + "/out", sum);
+}
+
+}  // namespace
+
+int build_alexnet(Graph& g, std::int64_t batch, std::int64_t classes) {
+  int top = g.placeholder("input", {batch, 3, 227, 227});
+  // tf_cnn_benchmarks AlexNet: conv-relu-pool x2, conv-relu x3, pool, 3 FC.
+  int w = g.variable("conv1/weights", {96, 3, 11, 11});
+  top = g.conv2d("conv1", top, w, 4, Padding::kValid);
+  top = g.relu("conv1/relu", top);
+  top = g.max_pool("pool1", top, 3, 2, Padding::kValid);
+  w = g.variable("conv2/weights", {256, 96, 5, 5});
+  top = g.conv2d("conv2", top, w, 1, Padding::kSame);
+  top = g.relu("conv2/relu", top);
+  top = g.max_pool("pool2", top, 3, 2, Padding::kValid);
+  w = g.variable("conv3/weights", {384, 256, 3, 3});
+  top = g.conv2d("conv3", top, w, 1, Padding::kSame);
+  top = g.relu("conv3/relu", top);
+  w = g.variable("conv4/weights", {384, 384, 3, 3});
+  top = g.conv2d("conv4", top, w, 1, Padding::kSame);
+  top = g.relu("conv4/relu", top);
+  w = g.variable("conv5/weights", {256, 384, 3, 3});
+  top = g.conv2d("conv5", top, w, 1, Padding::kSame);
+  top = g.relu("conv5/relu", top);
+  top = g.max_pool("pool5", top, 3, 2, Padding::kValid);
+  const std::int64_t features = g.op(top).shape.count() / batch;
+  top = g.matmul("fc6", top, g.variable("fc6/weights", {4096, features, 1, 1}));
+  top = g.relu("fc6/relu", top);
+  top = g.matmul("fc7", top, g.variable("fc7/weights", {4096, 4096, 1, 1}));
+  top = g.relu("fc7/relu", top);
+  top = g.matmul("fc8", top, g.variable("fc8/weights", {classes, 4096, 1, 1}));
+  return g.softmax_xent("loss", top);
+}
+
+int build_resnet50(Graph& g, std::int64_t batch, std::int64_t classes) {
+  int top = g.placeholder("input", {batch, 3, 224, 224});
+  top = conv_bn_relu(g, "conv1", top, 64, 7, 2);
+  top = g.max_pool("pool1", top, 3, 2, Padding::kSame);
+  static constexpr std::int64_t kChannels[] = {64, 128, 256, 512};
+  static constexpr int kBlocks[] = {3, 4, 6, 3};
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int block = 0; block < kBlocks[stage]; ++block) {
+      const std::int64_t stride = (stage > 0 && block == 0) ? 2 : 1;
+      top = bottleneck(g,
+                       "res" + std::to_string(stage + 2) + "_" +
+                           std::to_string(block + 1),
+                       top, kChannels[stage], stride);
+    }
+  }
+  top = g.avg_pool("pool5", top, 7, 1, Padding::kValid);
+  top = g.matmul("fc", top, g.variable("fc/weights", {classes, 2048, 1, 1}));
+  return g.softmax_xent("loss", top);
+}
+
+int build_densenet40(Graph& g, std::int64_t batch, std::int64_t growth,
+                     std::int64_t classes) {
+  int top = g.placeholder("input", {batch, 3, 32, 32});
+  top = g.conv2d("conv0", top,
+                 g.variable("conv0/weights", {2 * growth, 3, 3, 3}), 1,
+                 Padding::kSame);
+  for (int block = 0; block < 3; ++block) {
+    for (int layer = 0; layer < 12; ++layer) {
+      const std::string name = "dense" + std::to_string(block + 1) + "_" +
+                               std::to_string(layer + 1);
+      int branch = g.batch_norm(name + "/bn", top);
+      branch = g.relu(name + "/relu", branch);
+      const std::int64_t in_channels = g.op(branch).shape.c;
+      branch = g.conv2d(name + "/conv", branch,
+                        g.variable(name + "/weights",
+                                   {growth, in_channels, 3, 3}),
+                        1, Padding::kSame);
+      top = g.concat(name + "/concat", {top, branch});
+    }
+    if (block < 2) {
+      const std::string name = "trans" + std::to_string(block + 1);
+      int t = g.batch_norm(name + "/bn", top);
+      t = g.relu(name + "/relu", t);
+      const std::int64_t channels = g.op(t).shape.c;
+      t = g.conv2d(name + "/conv", t,
+                   g.variable(name + "/weights", {channels, channels, 1, 1}),
+                   1, Padding::kSame);
+      top = g.avg_pool(name + "/pool", t, 2, 2, Padding::kValid);
+    }
+  }
+  int t = g.batch_norm("final/bn", top);
+  t = g.relu("final/relu", t);
+  t = g.avg_pool("global_pool", t, g.op(t).shape.h, 1, Padding::kValid);
+  const std::int64_t features = g.op(t).shape.c;
+  t = g.matmul("fc", t, g.variable("fc/weights", {classes, features, 1, 1}));
+  return g.softmax_xent("loss", t);
+}
+
+}  // namespace ucudnn::tfmini

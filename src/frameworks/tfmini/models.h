@@ -1,0 +1,16 @@
+// tfmini model builders for the §IV-B2 evaluation: AlexNet, ResNet-50 and
+// DenseNet-40 expressed in the deferred-graph style of the TensorFlow
+// benchmarks repository (tf_cnn_benchmarks; like it, AlexNet omits LRN).
+#pragma once
+
+#include "frameworks/tfmini/tfmini.h"
+
+namespace ucudnn::tfmini {
+
+/// Returns the loss op index.
+int build_alexnet(Graph& graph, std::int64_t batch, std::int64_t classes = 1000);
+int build_resnet50(Graph& graph, std::int64_t batch, std::int64_t classes = 1000);
+int build_densenet40(Graph& graph, std::int64_t batch, std::int64_t growth = 40,
+                     std::int64_t classes = 10);
+
+}  // namespace ucudnn::tfmini

@@ -1,0 +1,135 @@
+#include "gemm/gemm.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace ucudnn::gemm {
+
+namespace {
+
+inline float load_a(Trans t, const float* a, std::int64_t lda, std::int64_t i,
+                    std::int64_t p) {
+  return t == Trans::kNo ? a[i * lda + p] : a[p * lda + i];
+}
+
+inline float load_b(Trans t, const float* b, std::int64_t ldb, std::int64_t p,
+                    std::int64_t j) {
+  return t == Trans::kNo ? b[p * ldb + j] : b[j * ldb + p];
+}
+
+// Blocking parameters tuned for L1/L2-resident panels of floats.
+constexpr std::int64_t kBlockM = 64;
+constexpr std::int64_t kBlockN = 256;
+constexpr std::int64_t kBlockK = 256;
+
+// Computes one M-block of C. Packs the A block so the inner loops stream
+// contiguously regardless of the requested transposes.
+void gemm_block_row(Trans trans_a, Trans trans_b, std::int64_t i0,
+                    std::int64_t i1, std::int64_t n, std::int64_t k,
+                    float alpha, const float* a, std::int64_t lda,
+                    const float* b, std::int64_t ldb, float beta, float* c,
+                    std::int64_t ldc) {
+  std::vector<float> a_pack(static_cast<std::size_t>(kBlockM * kBlockK));
+
+  // beta-scale the C rows once up front.
+  for (std::int64_t i = i0; i < i1; ++i) {
+    float* c_row = c + i * ldc;
+    if (beta == 0.0f) {
+      std::fill(c_row, c_row + n, 0.0f);
+    } else if (beta != 1.0f) {
+      for (std::int64_t j = 0; j < n; ++j) c_row[j] *= beta;
+    }
+  }
+
+  for (std::int64_t p0 = 0; p0 < k; p0 += kBlockK) {
+    const std::int64_t pb = std::min(kBlockK, k - p0);
+    for (std::int64_t ii0 = i0; ii0 < i1; ii0 += kBlockM) {
+      const std::int64_t ib = std::min(kBlockM, i1 - ii0);
+      // Pack op(A)[ii0:ii0+ib, p0:p0+pb] row-major into a_pack.
+      for (std::int64_t i = 0; i < ib; ++i) {
+        for (std::int64_t p = 0; p < pb; ++p) {
+          a_pack[static_cast<std::size_t>(i * pb + p)] =
+              load_a(trans_a, a, lda, ii0 + i, p0 + p);
+        }
+      }
+      for (std::int64_t j0 = 0; j0 < n; j0 += kBlockN) {
+        const std::int64_t jb = std::min(kBlockN, n - j0);
+        for (std::int64_t i = 0; i < ib; ++i) {
+          float* c_row = c + (ii0 + i) * ldc + j0;
+          const float* a_row = a_pack.data() + i * pb;
+          if (trans_b == Trans::kNo) {
+            for (std::int64_t p = 0; p < pb; ++p) {
+              const float av = alpha * a_row[p];
+              if (av == 0.0f) continue;
+              const float* b_row = b + (p0 + p) * ldb + j0;
+              for (std::int64_t j = 0; j < jb; ++j) c_row[j] += av * b_row[j];
+            }
+          } else {
+            for (std::int64_t j = 0; j < jb; ++j) {
+              const float* b_col = b + (j0 + j) * ldb + p0;
+              float acc = 0.0f;
+              for (std::int64_t p = 0; p < pb; ++p) acc += a_row[p] * b_col[p];
+              c_row[j] += alpha * acc;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void sgemm_naive(Trans trans_a, Trans trans_b, std::int64_t m, std::int64_t n,
+                 std::int64_t k, float alpha, const float* a, std::int64_t lda,
+                 const float* b, std::int64_t ldb, float beta, float* c,
+                 std::int64_t ldc) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(load_a(trans_a, a, lda, i, p)) *
+               load_b(trans_b, b, ldb, p, j);
+      }
+      c[i * ldc + j] = static_cast<float>(alpha * acc) +
+                       (beta == 0.0f ? 0.0f : beta * c[i * ldc + j]);
+    }
+  }
+}
+
+void sgemm(Trans trans_a, Trans trans_b, std::int64_t m, std::int64_t n,
+           std::int64_t k, float alpha, const float* a, std::int64_t lda,
+           const float* b, std::int64_t ldb, float beta, float* c,
+           std::int64_t ldc) {
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      float* c_row = c + i * ldc;
+      if (beta == 0.0f) {
+        std::fill(c_row, c_row + n, 0.0f);
+      } else if (beta != 1.0f) {
+        for (std::int64_t j = 0; j < n; ++j) c_row[j] *= beta;
+      }
+    }
+    return;
+  }
+  ThreadPool::global().parallel_for(
+      m,
+      [&](std::int64_t i0, std::int64_t i1, std::size_t) {
+        gemm_block_row(trans_a, trans_b, i0, i1, n, k, alpha, a, lda, b, ldb,
+                       beta, c, ldc);
+      },
+      /*min_chunk=*/16);
+}
+
+void sgemm(Trans trans_a, Trans trans_b, std::int64_t m, std::int64_t n,
+           std::int64_t k, float alpha, const float* a, const float* b,
+           float beta, float* c) {
+  const std::int64_t lda = trans_a == Trans::kNo ? k : m;
+  const std::int64_t ldb = trans_b == Trans::kNo ? n : k;
+  sgemm(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, n);
+}
+
+}  // namespace ucudnn::gemm

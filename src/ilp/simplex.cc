@@ -1,0 +1,224 @@
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/status.h"
+#include "ilp/ilp.h"
+
+namespace ucudnn::ilp {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Dense tableau simplex. Rows 0..m-1 are constraints; row m is the objective
+// (reduced costs, minimization). Bland's rule prevents cycling.
+class Tableau {
+ public:
+  Tableau(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  void pivot(std::size_t pr, std::size_t pc) {
+    const double pivot_value = at(pr, pc);
+    for (std::size_t c = 0; c < cols_; ++c) at(pr, c) /= pivot_value;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == pr) continue;
+      const double factor = at(r, pc);
+      if (std::abs(factor) < kEps) continue;
+      for (std::size_t c = 0; c < cols_; ++c) at(r, c) -= factor * at(pr, c);
+    }
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<double> data_;
+};
+
+struct StandardForm {
+  Tableau tab;
+  std::vector<std::size_t> basis;  // basic variable of each constraint row
+  std::size_t num_structural;      // original variables
+  std::size_t num_total;           // structural + slack/surplus + artificial
+  std::vector<std::size_t> artificials;
+};
+
+// Builds the phase-1 tableau: slacks for <=, surplus+artificial for >=,
+// artificial for =; RHS made non-negative.
+StandardForm build(const LinearProgram& lp) {
+  const std::size_t n = lp.num_vars();
+  const std::size_t m = lp.constraints.size();
+
+  // Count extra columns.
+  std::size_t slacks = 0, artificials = 0;
+  for (const auto& con : lp.constraints) {
+    const bool flip = con.rhs < 0;
+    Relation rel = con.relation;
+    if (flip) {
+      rel = rel == Relation::kLessEqual ? Relation::kGreaterEqual
+            : rel == Relation::kGreaterEqual ? Relation::kLessEqual
+                                             : Relation::kEqual;
+    }
+    if (rel != Relation::kEqual) ++slacks;
+    if (rel != Relation::kLessEqual) ++artificials;
+  }
+  const std::size_t total = n + slacks + artificials;
+
+  StandardForm sf{Tableau(m + 1, total + 1), {}, n, total, {}};
+  sf.basis.resize(m);
+
+  std::size_t slack_col = n;
+  std::size_t art_col = n + slacks;
+  for (std::size_t r = 0; r < m; ++r) {
+    const auto& con = lp.constraints[r];
+    check_param(con.coeffs.size() == n, "constraint arity mismatch");
+    const bool flip = con.rhs < 0;
+    const double sign = flip ? -1.0 : 1.0;
+    Relation rel = con.relation;
+    if (flip) {
+      rel = rel == Relation::kLessEqual ? Relation::kGreaterEqual
+            : rel == Relation::kGreaterEqual ? Relation::kLessEqual
+                                             : Relation::kEqual;
+    }
+    for (std::size_t c = 0; c < n; ++c) sf.tab.at(r, c) = sign * con.coeffs[c];
+    sf.tab.at(r, total) = sign * con.rhs;
+
+    if (rel == Relation::kLessEqual) {
+      sf.tab.at(r, slack_col) = 1.0;
+      sf.basis[r] = slack_col++;
+    } else if (rel == Relation::kGreaterEqual) {
+      sf.tab.at(r, slack_col) = -1.0;
+      ++slack_col;
+      sf.tab.at(r, art_col) = 1.0;
+      sf.basis[r] = art_col;
+      sf.artificials.push_back(art_col++);
+    } else {
+      sf.tab.at(r, art_col) = 1.0;
+      sf.basis[r] = art_col;
+      sf.artificials.push_back(art_col++);
+    }
+  }
+  return sf;
+}
+
+// Runs simplex iterations on the current objective row (row m).
+// Returns false if unbounded.
+bool iterate(StandardForm& sf) {
+  const std::size_t m = sf.basis.size();
+  const std::size_t rhs = sf.num_total;
+  for (;;) {
+    // Entering variable: Bland's rule — smallest index with negative reduced
+    // cost.
+    std::size_t entering = sf.num_total;
+    for (std::size_t c = 0; c < sf.num_total; ++c) {
+      if (sf.tab.at(m, c) < -kEps) {
+        entering = c;
+        break;
+      }
+    }
+    if (entering == sf.num_total) return true;  // optimal
+
+    // Leaving variable: minimum ratio, ties by smallest basis index (Bland).
+    std::size_t leaving = m;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < m; ++r) {
+      const double a = sf.tab.at(r, entering);
+      if (a > kEps) {
+        const double ratio = sf.tab.at(r, rhs) / a;
+        if (ratio < best_ratio - kEps ||
+            (ratio < best_ratio + kEps &&
+             (leaving == m || sf.basis[r] < sf.basis[leaving]))) {
+          best_ratio = ratio;
+          leaving = r;
+        }
+      }
+    }
+    if (leaving == m) return false;  // unbounded
+
+    sf.tab.pivot(leaving, entering);
+    sf.basis[leaving] = entering;
+  }
+}
+
+// Rebuilds the objective row for the given costs (phase switch): sets row m
+// to c, then eliminates the basic columns.
+void set_objective(StandardForm& sf, const std::vector<double>& costs) {
+  const std::size_t m = sf.basis.size();
+  for (std::size_t c = 0; c <= sf.num_total; ++c) sf.tab.at(m, c) = 0.0;
+  for (std::size_t c = 0; c < costs.size(); ++c) sf.tab.at(m, c) = costs[c];
+  for (std::size_t r = 0; r < m; ++r) {
+    const double coeff = sf.tab.at(m, sf.basis[r]);
+    if (std::abs(coeff) < kEps) continue;
+    for (std::size_t c = 0; c <= sf.num_total; ++c) {
+      sf.tab.at(m, c) -= coeff * sf.tab.at(r, c);
+    }
+  }
+}
+
+}  // namespace
+
+LpResult solve_lp(const LinearProgram& lp) {
+  LpResult result;
+  StandardForm sf = build(lp);
+  const std::size_t m = sf.basis.size();
+
+  // Phase 1: minimize sum of artificials.
+  if (!sf.artificials.empty()) {
+    std::vector<double> phase1(sf.num_total, 0.0);
+    for (std::size_t a : sf.artificials) phase1[a] = 1.0;
+    set_objective(sf, phase1);
+    if (!iterate(sf)) {
+      result.unbounded = true;  // cannot happen for phase 1, defensive
+      return result;
+    }
+    const double art_sum = -sf.tab.at(m, sf.num_total);
+    if (art_sum > 1e-7) {
+      return result;  // infeasible
+    }
+    // Drive any lingering artificial out of the basis.
+    for (std::size_t r = 0; r < m; ++r) {
+      const bool is_art =
+          std::find(sf.artificials.begin(), sf.artificials.end(),
+                    sf.basis[r]) != sf.artificials.end();
+      if (!is_art) continue;
+      for (std::size_t c = 0; c < sf.num_structural; ++c) {
+        if (std::abs(sf.tab.at(r, c)) > kEps) {
+          sf.tab.pivot(r, c);
+          sf.basis[r] = c;
+          break;
+        }
+      }
+    }
+  }
+
+  // Phase 2: original objective.
+  std::vector<double> costs(sf.num_total, 0.0);
+  for (std::size_t c = 0; c < lp.num_vars(); ++c) costs[c] = lp.objective[c];
+  // Forbid artificial re-entry.
+  for (std::size_t a : sf.artificials) costs[a] = 1e30;
+  set_objective(sf, costs);
+  if (!iterate(sf)) {
+    result.unbounded = true;
+    return result;
+  }
+
+  result.feasible = true;
+  result.x.assign(lp.num_vars(), 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    if (sf.basis[r] < lp.num_vars()) {
+      result.x[sf.basis[r]] = sf.tab.at(r, sf.num_total);
+    }
+  }
+  result.objective = 0.0;
+  for (std::size_t c = 0; c < lp.num_vars(); ++c) {
+    result.objective += lp.objective[c] * result.x[c];
+  }
+  return result;
+}
+
+}  // namespace ucudnn::ilp

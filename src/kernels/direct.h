@@ -1,0 +1,32 @@
+// Direct (loop-nest) convolution kernels. Zero workspace, slow; these double
+// as the numerical reference implementations for every other algorithm.
+//
+// All entry points implement the cuDNN scaling contract
+// out = alpha * op(inputs) + beta * out.
+#pragma once
+
+#include "kernels/conv_problem.h"
+
+namespace ucudnn::kernels {
+
+/// y = alpha * conv(x, w) + beta * y. Naive seven-loop nest with a
+/// double-precision accumulator (reference quality).
+void direct_forward(const ConvProblem& p, const float* x, const float* w,
+                    float* y, float alpha, float beta);
+
+/// dx = alpha * corr*(dy, w) + beta * dx.
+void direct_backward_data(const ConvProblem& p, const float* dy,
+                          const float* w, float* dx, float alpha, float beta);
+
+/// dw = alpha * sum_n corr(x_n, dy_n) + beta * dw.
+void direct_backward_filter(const ConvProblem& p, const float* x,
+                            const float* dy, float* dw, float alpha,
+                            float beta);
+
+/// Implicit-GEMM style forward: same zero-workspace contract as
+/// direct_forward but with a cache-friendlier loop order (hoisted bounds,
+/// vectorizable inner loop) — faster, still no workspace.
+void implicit_gemm_forward(const ConvProblem& p, const float* x,
+                           const float* w, float* y, float alpha, float beta);
+
+}  // namespace ucudnn::kernels

@@ -1,0 +1,55 @@
+// FFT-based convolution algorithms.
+//
+// Forward and BackwardData are both expressed as a stride-1 cross-correlation
+// with an (optionally flipped / transposed) filter and a possibly negative
+// padding, evaluated either with one full-image FFT (FFT) or tile-by-tile
+// (FFT_TILING). BackwardFilter accumulates filter gradients in the frequency
+// domain across the batch.
+//
+// Workspace grows linearly with the (micro-)batch size — the frequency-domain
+// copies of the activations dominate — which is exactly why the paper's
+// micro-batching makes these algorithms usable under tight workspace limits.
+//
+// Restrictions (mirroring cuDNN): stride 1 and dilation 1 only; FFT_TILING
+// additionally requires the kernel window to be at most 32x32.
+#pragma once
+
+#include <cstddef>
+
+#include "kernels/conv_problem.h"
+
+namespace ucudnn::kernels {
+
+bool fft_supported(const ConvProblem& p) noexcept;
+bool fft_tiling_supported(const ConvProblem& p) noexcept;
+
+std::size_t fft_fwd_workspace(const ConvProblem& p);
+void fft_forward(const ConvProblem& p, const float* x, const float* w,
+                 float* y, float alpha, float beta, void* workspace);
+
+std::size_t fft_bwd_data_workspace(const ConvProblem& p);
+void fft_backward_data(const ConvProblem& p, const float* dy, const float* w,
+                       float* dx, float alpha, float beta, void* workspace);
+
+std::size_t fft_bwd_filter_workspace(const ConvProblem& p);
+void fft_backward_filter(const ConvProblem& p, const float* x, const float* dy,
+                         float* dw, float alpha, float beta, void* workspace);
+
+std::size_t fft_tiling_fwd_workspace(const ConvProblem& p);
+void fft_tiling_forward(const ConvProblem& p, const float* x, const float* w,
+                        float* y, float alpha, float beta, void* workspace);
+
+std::size_t fft_tiling_bwd_data_workspace(const ConvProblem& p);
+void fft_tiling_backward_data(const ConvProblem& p, const float* dy,
+                              const float* w, float* dx, float alpha,
+                              float beta, void* workspace);
+
+/// FFT plan edge (padded transform size) used by the full-image FFT
+/// algorithms for this problem; exposed for tests and the cost model.
+std::int64_t fft_plan_edge_h(const ConvProblem& p) noexcept;
+std::int64_t fft_plan_edge_w(const ConvProblem& p) noexcept;
+
+/// Tile edge used by FFT_TILING (padded per-tile transform size).
+std::int64_t fft_tile_edge(const ConvProblem& p) noexcept;
+
+}  // namespace ucudnn::kernels

@@ -1,0 +1,45 @@
+// GEMM-based convolution algorithms (im2col lowering + SGEMM).
+//
+//  * IMPLICIT_PRECOMP_GEMM forward — precomputed gather table plus a
+//    one-image column buffer; workspace is batch-INDEPENDENT.
+//  * GEMM forward — whole-batch column + staging buffers, one large GEMM;
+//    workspace grows LINEARLY with the (micro-)batch size. This is the
+//    classic "fast but memory-hungry" algorithm micro-batching unlocks.
+//  * BackwardData ALGO_1 — dcol = Wᵀ·dy then col2im; batch-linear workspace.
+//  * BackwardFilter ALGO_1 — per-image im2col + accumulating GEMM;
+//    batch-independent workspace.
+//  * BackwardFilter ALGO_3 — whole-batch im2col + one GEMM; batch-linear.
+//
+// All functions follow out = alpha * op(inputs) + beta * out and require a
+// caller-provided workspace of at least the advertised size.
+#pragma once
+
+#include <cstddef>
+
+#include "kernels/conv_problem.h"
+
+namespace ucudnn::kernels {
+
+std::size_t precomp_fwd_workspace(const ConvProblem& p);
+void precomp_gemm_forward(const ConvProblem& p, const float* x, const float* w,
+                          float* y, float alpha, float beta, void* workspace);
+
+std::size_t gemm_fwd_workspace(const ConvProblem& p);
+void gemm_forward(const ConvProblem& p, const float* x, const float* w,
+                  float* y, float alpha, float beta, void* workspace);
+
+std::size_t gemm_bwd_data_workspace(const ConvProblem& p);
+void gemm_backward_data(const ConvProblem& p, const float* dy, const float* w,
+                        float* dx, float alpha, float beta, void* workspace);
+
+std::size_t perimage_bwd_filter_workspace(const ConvProblem& p);
+void perimage_backward_filter(const ConvProblem& p, const float* x,
+                              const float* dy, float* dw, float alpha,
+                              float beta, void* workspace);
+
+std::size_t gemm_bwd_filter_workspace(const ConvProblem& p);
+void gemm_backward_filter(const ConvProblem& p, const float* x,
+                          const float* dy, float* dw, float alpha, float beta,
+                          void* workspace);
+
+}  // namespace ucudnn::kernels

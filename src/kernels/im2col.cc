@@ -1,0 +1,153 @@
+#include "kernels/im2col.h"
+
+#include "common/thread_pool.h"
+
+namespace ucudnn::kernels {
+
+namespace {
+
+// Spatial kernel offset for filter element r: identity for cross-correlation,
+// flipped for true convolution.
+inline std::int64_t spatial_r(const ConvProblem& p, std::int64_t r) noexcept {
+  return p.geom.mode == ConvMode::kCrossCorrelation ? r : p.w.r - 1 - r;
+}
+inline std::int64_t spatial_s(const ConvProblem& p, std::int64_t s) noexcept {
+  return p.geom.mode == ConvMode::kCrossCorrelation ? s : p.w.s - 1 - s;
+}
+
+}  // namespace
+
+void im2col(const ConvProblem& p, const float* x_image, float* col) {
+  const std::int64_t oh = p.y.h, ow = p.y.w;
+  const std::int64_t cols = oh * ow;
+  for (std::int64_t c = 0; c < p.w.c; ++c) {
+    const float* x_channel = x_image + c * p.x.h * p.x.w;
+    for (std::int64_t r = 0; r < p.w.r; ++r) {
+      const std::int64_t rr = spatial_r(p, r);
+      for (std::int64_t s = 0; s < p.w.s; ++s) {
+        const std::int64_t ss = spatial_s(p, s);
+        float* out = col + ((c * p.w.r + r) * p.w.s + s) * cols;
+        for (std::int64_t i = 0; i < oh; ++i) {
+          const std::int64_t ih = i * p.geom.stride_h - p.geom.pad_h +
+                                  rr * p.geom.dilation_h;
+          float* out_row = out + i * ow;
+          if (ih < 0 || ih >= p.x.h) {
+            for (std::int64_t j = 0; j < ow; ++j) out_row[j] = 0.0f;
+            continue;
+          }
+          const float* x_row = x_channel + ih * p.x.w;
+          for (std::int64_t j = 0; j < ow; ++j) {
+            const std::int64_t iw = j * p.geom.stride_w - p.geom.pad_w +
+                                    ss * p.geom.dilation_w;
+            out_row[j] = (iw >= 0 && iw < p.x.w) ? x_row[iw] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void im2col_batched(const ConvProblem& p, const float* x, float* col) {
+  const std::int64_t image = p.x.c * p.x.h * p.x.w;
+  const std::int64_t per_image_cols = p.y.h * p.y.w;
+  const std::int64_t total_cols = p.x.n * per_image_cols;
+  const std::int64_t rows = col_rows(p);
+  parallel_for_each(p.x.n, [&](std::int64_t n) {
+    // Lower image n, then spread its columns into the batched layout.
+    // To avoid a temporary we lower directly with strided writes.
+    const float* x_image = x + n * image;
+    for (std::int64_t row = 0; row < rows; ++row) {
+      const std::int64_t c = row / (p.w.r * p.w.s);
+      const std::int64_t r = (row / p.w.s) % p.w.r;
+      const std::int64_t s = row % p.w.s;
+      const std::int64_t rr = spatial_r(p, r);
+      const std::int64_t ss = spatial_s(p, s);
+      const float* x_channel = x_image + c * p.x.h * p.x.w;
+      float* out = col + row * total_cols + n * per_image_cols;
+      for (std::int64_t i = 0; i < p.y.h; ++i) {
+        const std::int64_t ih =
+            i * p.geom.stride_h - p.geom.pad_h + rr * p.geom.dilation_h;
+        float* out_row = out + i * p.y.w;
+        if (ih < 0 || ih >= p.x.h) {
+          for (std::int64_t j = 0; j < p.y.w; ++j) out_row[j] = 0.0f;
+          continue;
+        }
+        const float* x_row = x_channel + ih * p.x.w;
+        for (std::int64_t j = 0; j < p.y.w; ++j) {
+          const std::int64_t iw =
+              j * p.geom.stride_w - p.geom.pad_w + ss * p.geom.dilation_w;
+          out_row[j] = (iw >= 0 && iw < p.x.w) ? x_row[iw] : 0.0f;
+        }
+      }
+    }
+  });
+}
+
+void col2im_accumulate(const ConvProblem& p, const float* col, float* x_image) {
+  col2im_accumulate_strided(p, col, p.y.h * p.y.w, x_image);
+}
+
+void col2im_accumulate_strided(const ConvProblem& p, const float* col,
+                               std::int64_t row_stride, float* x_image) {
+  const std::int64_t oh = p.y.h, ow = p.y.w;
+  const std::int64_t cols = row_stride;
+  for (std::int64_t c = 0; c < p.w.c; ++c) {
+    float* x_channel = x_image + c * p.x.h * p.x.w;
+    for (std::int64_t r = 0; r < p.w.r; ++r) {
+      const std::int64_t rr = spatial_r(p, r);
+      for (std::int64_t s = 0; s < p.w.s; ++s) {
+        const std::int64_t ss = spatial_s(p, s);
+        const float* in = col + ((c * p.w.r + r) * p.w.s + s) * cols;
+        for (std::int64_t i = 0; i < oh; ++i) {
+          const std::int64_t ih = i * p.geom.stride_h - p.geom.pad_h +
+                                  rr * p.geom.dilation_h;
+          if (ih < 0 || ih >= p.x.h) continue;
+          const float* in_row = in + i * ow;
+          float* x_row = x_channel + ih * p.x.w;
+          for (std::int64_t j = 0; j < ow; ++j) {
+            const std::int64_t iw = j * p.geom.stride_w - p.geom.pad_w +
+                                    ss * p.geom.dilation_w;
+            if (iw >= 0 && iw < p.x.w) x_row[iw] += in_row[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+void build_gather_indices(const ConvProblem& p, std::int32_t* indices) {
+  const std::int64_t oh = p.y.h, ow = p.y.w;
+  const std::int64_t cols = oh * ow;
+  const std::int64_t rows = col_rows(p);
+  for (std::int64_t row = 0; row < rows; ++row) {
+    const std::int64_t c = row / (p.w.r * p.w.s);
+    const std::int64_t r = (row / p.w.s) % p.w.r;
+    const std::int64_t s = row % p.w.s;
+    const std::int64_t rr = spatial_r(p, r);
+    const std::int64_t ss = spatial_s(p, s);
+    std::int32_t* out = indices + row * cols;
+    for (std::int64_t i = 0; i < oh; ++i) {
+      const std::int64_t ih =
+          i * p.geom.stride_h - p.geom.pad_h + rr * p.geom.dilation_h;
+      for (std::int64_t j = 0; j < ow; ++j) {
+        const std::int64_t iw =
+            j * p.geom.stride_w - p.geom.pad_w + ss * p.geom.dilation_w;
+        const bool inside = ih >= 0 && ih < p.x.h && iw >= 0 && iw < p.x.w;
+        out[i * ow + j] =
+            inside ? static_cast<std::int32_t>((c * p.x.h + ih) * p.x.w + iw)
+                   : -1;
+      }
+    }
+  }
+}
+
+void im2col_indexed(const ConvProblem& p, const std::int32_t* indices,
+                    const float* x_image, float* col) {
+  const std::int64_t count = col_rows(p) * p.y.h * p.y.w;
+  for (std::int64_t i = 0; i < count; ++i) {
+    const std::int32_t idx = indices[i];
+    col[i] = idx >= 0 ? x_image[idx] : 0.0f;
+  }
+}
+
+}  // namespace ucudnn::kernels

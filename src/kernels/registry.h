@@ -1,0 +1,80 @@
+// Algorithm registry: the single point the mcudnn API layer (and the
+// μ-cuDNN optimizer) uses to enumerate convolution algorithms, query
+// support/workspace/cost, and execute them.
+//
+// Algorithm enumerations mirror cuDNN 7:
+//   Forward:        IMPLICIT_GEMM, IMPLICIT_PRECOMP_GEMM, GEMM, DIRECT,
+//                   FFT, FFT_TILING, WINOGRAD, WINOGRAD_NONFUSED
+//   BackwardData:   ALGO_0 (direct), ALGO_1 (GEMM+col2im), FFT, FFT_TILING,
+//                   WINOGRAD, WINOGRAD_NONFUSED
+//   BackwardFilter: ALGO_0 (direct), ALGO_1 (per-image GEMM), FFT,
+//                   ALGO_3 (batched GEMM)
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "kernels/conv_problem.h"
+
+namespace ucudnn::kernels {
+
+namespace fwd_algo {
+inline constexpr int kImplicitGemm = 0;
+inline constexpr int kImplicitPrecompGemm = 1;
+inline constexpr int kGemm = 2;
+inline constexpr int kDirect = 3;
+inline constexpr int kFft = 4;
+inline constexpr int kFftTiling = 5;
+inline constexpr int kWinograd = 6;
+inline constexpr int kWinogradNonfused = 7;
+inline constexpr int kCount = 8;
+}  // namespace fwd_algo
+
+namespace bwd_data_algo {
+inline constexpr int kAlgo0 = 0;
+inline constexpr int kAlgo1 = 1;
+inline constexpr int kFft = 2;
+inline constexpr int kFftTiling = 3;
+inline constexpr int kWinograd = 4;
+inline constexpr int kWinogradNonfused = 5;
+inline constexpr int kCount = 6;
+}  // namespace bwd_data_algo
+
+namespace bwd_filter_algo {
+inline constexpr int kAlgo0 = 0;
+inline constexpr int kAlgo1 = 1;
+inline constexpr int kFft = 2;
+inline constexpr int kAlgo3 = 3;
+inline constexpr int kCount = 4;
+}  // namespace bwd_filter_algo
+
+/// Number of algorithm slots for a kernel type.
+int algo_count(ConvKernelType type) noexcept;
+
+/// Short name, e.g. "FFT_TILING". Throws kBadParam for out-of-range ids.
+std::string_view algo_name(ConvKernelType type, int algo);
+
+/// Whether `algo` can run this problem at all (stride/dilation/window rules).
+bool algo_supported(ConvKernelType type, int algo,
+                    const ConvProblem& p) noexcept;
+
+/// Exact workspace requirement in bytes. Throws kNotSupported when
+/// algo_supported() is false.
+std::size_t algo_workspace(ConvKernelType type, int algo, const ConvProblem& p);
+
+/// Modeled floating-point operation count (used by the device simulator).
+double algo_flops(ConvKernelType type, int algo, const ConvProblem& p);
+
+/// Modeled DRAM traffic in bytes (used by the device simulator).
+double algo_traffic_bytes(ConvKernelType type, int algo, const ConvProblem& p);
+
+/// Runs the algorithm. Operand roles per kernel type:
+///   Forward:        a = x,  b = w,  out = y
+///   BackwardData:   a = dy, b = w,  out = dx
+///   BackwardFilter: a = x,  b = dy, out = dw
+/// Throws kNotSupported / kBadParam (e.g. workspace too small).
+void execute(ConvKernelType type, int algo, const ConvProblem& p,
+             const float* a, const float* b, float* out, float alpha,
+             float beta, void* workspace, std::size_t workspace_bytes);
+
+}  // namespace ucudnn::kernels

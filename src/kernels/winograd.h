@@ -1,0 +1,50 @@
+// Winograd F(2x2, 3x3) convolution (Lavin & Gray, CVPR 2016).
+//
+// Two variants mirroring cuDNN:
+//  * WINOGRAD (fused)     — tiles are transformed, multiplied and inverse
+//    transformed on the fly; workspace holds only the transformed filters
+//    plus small per-worker scratch, i.e. it is (nearly) batch-INDEPENDENT.
+//  * WINOGRAD_NONFUSED    — all input tiles are transformed into a staging
+//    buffer and the elementwise stage becomes 16 large GEMMs; workspace is
+//    batch-LINEAR and large, but throughput is the best of all algorithms
+//    for 3x3 kernels.
+//
+// BackwardData is lowered onto the forward kernel with a transposed
+// (and possibly flipped) filter built inside the workspace.
+//
+// Restrictions: 3x3 window, unit stride and dilation; BackwardData
+// additionally needs pad <= 2 so the lowered problem has non-negative pad.
+#pragma once
+
+#include <cstddef>
+
+#include "kernels/conv_problem.h"
+
+namespace ucudnn::kernels {
+
+bool winograd_supported(const ConvProblem& p) noexcept;
+bool winograd_bwd_data_supported(const ConvProblem& p) noexcept;
+
+/// Number of 2x2 output tiles (ceil(OH/2) * ceil(OW/2)) per image.
+std::int64_t winograd_tiles(const ConvProblem& p) noexcept;
+
+std::size_t winograd_fwd_workspace(const ConvProblem& p);
+void winograd_forward(const ConvProblem& p, const float* x, const float* w,
+                      float* y, float alpha, float beta, void* workspace);
+
+std::size_t winograd_nonfused_fwd_workspace(const ConvProblem& p);
+void winograd_nonfused_forward(const ConvProblem& p, const float* x,
+                               const float* w, float* y, float alpha,
+                               float beta, void* workspace);
+
+std::size_t winograd_bwd_data_workspace(const ConvProblem& p);
+void winograd_backward_data(const ConvProblem& p, const float* dy,
+                            const float* w, float* dx, float alpha, float beta,
+                            void* workspace);
+
+std::size_t winograd_nonfused_bwd_data_workspace(const ConvProblem& p);
+void winograd_nonfused_backward_data(const ConvProblem& p, const float* dy,
+                                     const float* w, float* dx, float alpha,
+                                     float beta, void* workspace);
+
+}  // namespace ucudnn::kernels

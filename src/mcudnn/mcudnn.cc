@@ -1,0 +1,309 @@
+#include "mcudnn/mcudnn.h"
+
+#include <algorithm>
+
+#include "common/aligned_buffer.h"
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace ucudnn::mcudnn {
+
+Handle::Handle()
+    : device_(std::make_shared<device::Device>(device::host_cpu_spec())),
+      mode_(ExecMode::kNumeric) {}
+
+Handle::Handle(std::shared_ptr<device::Device> dev)
+    : device_(std::move(dev)),
+      mode_(device_->is_simulated() ? ExecMode::kVirtual : ExecMode::kNumeric) {
+}
+
+Handle::Handle(std::shared_ptr<device::Device> dev, ExecMode mode)
+    : device_(std::move(dev)), mode_(mode) {
+  check_param(!(mode_ == ExecMode::kNumeric && false),
+              "invalid handle configuration");
+}
+
+kernels::ConvProblem make_problem(ConvKernelType type, const TensorDesc& in,
+                                  const FilterDesc& w, const ConvGeometry& conv,
+                                  const TensorDesc& out) {
+  switch (type) {
+    case ConvKernelType::kForward:
+    case ConvKernelType::kBackwardFilter: {
+      const kernels::ConvProblem p(in.shape, w, conv);
+      check_param(p.y == out.shape,
+                  "output descriptor " + out.shape.to_string() +
+                      " does not match convolution output " + p.y.to_string());
+      return p;
+    }
+    case ConvKernelType::kBackwardData: {
+      // `out` is dx (the problem's input side), `in` is dy.
+      const kernels::ConvProblem p(out.shape, w, conv);
+      check_param(p.y == in.shape,
+                  "dy descriptor " + in.shape.to_string() +
+                      " does not match convolution output " + p.y.to_string());
+      return p;
+    }
+  }
+  throw Error(Status::kBadParam, "unknown kernel type");
+}
+
+std::size_t workspace_size(const Handle& handle, ConvKernelType type,
+                           const kernels::ConvProblem& p, int algo) {
+  (void)handle;
+  return kernels::algo_workspace(type, algo, p);
+}
+
+namespace {
+
+// Wall-clock measurement of one algorithm on the host CPU. Allocates scratch
+// operands internally, like cudnnFindConvolutionForwardAlgorithm.
+double measure_algo_ms(ConvKernelType type, const kernels::ConvProblem& p,
+                       int algo, std::size_t ws_bytes) {
+  const std::int64_t a_count =
+      type == ConvKernelType::kBackwardData ? p.y.count() : p.x.count();
+  const std::int64_t b_count =
+      type == ConvKernelType::kBackwardFilter ? p.y.count() : p.w.count();
+  const std::int64_t out_count = type == ConvKernelType::kForward
+                                     ? p.y.count()
+                                     : type == ConvKernelType::kBackwardData
+                                           ? p.x.count()
+                                           : p.w.count();
+  AlignedBuffer<float> a(static_cast<std::size_t>(a_count));
+  AlignedBuffer<float> b(static_cast<std::size_t>(b_count));
+  AlignedBuffer<float> out(static_cast<std::size_t>(out_count));
+  fill_constant(a.data(), a_count, 0.5f);
+  fill_constant(b.data(), b_count, 0.25f);
+  fill_constant(out.data(), out_count, 0.0f);
+  AlignedBuffer<char> ws(ws_bytes);
+
+  // One warmup, then the timed run.
+  kernels::execute(type, algo, p, a.data(), b.data(), out.data(), 1.0f, 0.0f,
+                   ws.data(), ws_bytes);
+  Timer timer;
+  kernels::execute(type, algo, p, a.data(), b.data(), out.data(), 1.0f, 0.0f,
+                   ws.data(), ws_bytes);
+  return timer.elapsed_ms();
+}
+
+}  // namespace
+
+std::vector<AlgoPerf> find_algorithms(const Handle& handle, ConvKernelType type,
+                                      const kernels::ConvProblem& p) {
+  std::vector<AlgoPerf> results;
+  results.reserve(static_cast<std::size_t>(kernels::algo_count(type)));
+  for (int algo = 0; algo < kernels::algo_count(type); ++algo) {
+    AlgoPerf perf;
+    perf.algo = algo;
+    if (!kernels::algo_supported(type, algo, p)) {
+      perf.status = Status::kNotSupported;
+      results.push_back(perf);
+      continue;
+    }
+    perf.memory = kernels::algo_workspace(type, algo, p);
+    perf.status = Status::kSuccess;
+    if (handle.device().is_simulated()) {
+      perf.time_ms = handle.device().model_time_ms(type, algo, p);
+    } else {
+      perf.time_ms = measure_algo_ms(type, p, algo, perf.memory);
+    }
+    results.push_back(perf);
+  }
+  std::stable_sort(results.begin(), results.end(),
+                   [](const AlgoPerf& l, const AlgoPerf& r) {
+                     const bool lo = l.status == Status::kSuccess;
+                     const bool ro = r.status == Status::kSuccess;
+                     if (lo != ro) return lo;
+                     if (!lo) return false;
+                     return l.time_ms < r.time_ms;
+                   });
+  return results;
+}
+
+std::vector<AlgoPerf> find_algorithms_ex(const Handle& handle,
+                                         ConvKernelType type,
+                                         const kernels::ConvProblem& p,
+                                         const float* a, const float* b,
+                                         float* out, void* workspace,
+                                         std::size_t workspace_bytes) {
+  std::vector<AlgoPerf> results;
+  results.reserve(static_cast<std::size_t>(kernels::algo_count(type)));
+  for (int algo = 0; algo < kernels::algo_count(type); ++algo) {
+    AlgoPerf perf;
+    perf.algo = algo;
+    if (!kernels::algo_supported(type, algo, p)) {
+      perf.status = Status::kNotSupported;
+      results.push_back(perf);
+      continue;
+    }
+    perf.memory = kernels::algo_workspace(type, algo, p);
+    if (perf.memory > workspace_bytes) {
+      // Ex semantics: algorithms that do not fit the provided buffer are
+      // reported but not run.
+      perf.status = Status::kAllocFailed;
+      results.push_back(perf);
+      continue;
+    }
+    perf.status = Status::kSuccess;
+    if (handle.device().is_simulated()) {
+      perf.time_ms = handle.device().model_time_ms(type, algo, p);
+    } else {
+      check_param(a != nullptr && b != nullptr && out != nullptr,
+                  "find_algorithms_ex needs operand buffers on HostCpu");
+      Timer timer;
+      kernels::execute(type, algo, p, a, b, out, 1.0f, 0.0f, workspace,
+                       workspace_bytes);
+      perf.time_ms = timer.elapsed_ms();
+    }
+    results.push_back(perf);
+  }
+  std::stable_sort(results.begin(), results.end(),
+                   [](const AlgoPerf& l, const AlgoPerf& r) {
+                     const bool lo = l.status == Status::kSuccess;
+                     const bool ro = r.status == Status::kSuccess;
+                     if (lo != ro) return lo;
+                     if (!lo) return false;
+                     return l.time_ms < r.time_ms;
+                   });
+  return results;
+}
+
+int get_algorithm(const Handle& handle, ConvKernelType type,
+                  const kernels::ConvProblem& p, AlgoPreference preference,
+                  std::size_t ws_limit) {
+  const std::size_t limit =
+      preference == AlgoPreference::kNoWorkspace
+          ? 0
+          : preference == AlgoPreference::kPreferFastest
+                ? std::numeric_limits<std::size_t>::max()
+                : ws_limit;
+  const auto results = find_algorithms(handle, type, p);
+  for (const AlgoPerf& perf : results) {
+    if (perf.status == Status::kSuccess && perf.memory <= limit) {
+      return perf.algo;
+    }
+  }
+  throw Error(Status::kNotSupported,
+              "no algorithm fits workspace limit " + std::to_string(limit) +
+                  " for " + p.to_string());
+}
+
+void convolution(const Handle& handle, ConvKernelType type,
+                 const kernels::ConvProblem& p, float alpha, const float* a,
+                 const float* b, float beta, float* out, int algo,
+                 void* workspace, std::size_t workspace_bytes) {
+  check(kernels::algo_supported(type, algo, p), Status::kNotSupported,
+        std::string(kernels::algo_name(type, algo)) + " unsupported for " +
+            p.to_string());
+  device::Device& dev = handle.device();
+  if (handle.exec_mode() == ExecMode::kVirtual) {
+    // No data touched; advance the virtual clock by the modeled time. The
+    // workspace-size contract is still enforced so that virtual runs catch
+    // configuration bugs.
+    const std::size_t required = kernels::algo_workspace(type, algo, p);
+    check(workspace_bytes >= required, Status::kBadParam,
+          "virtual execution with insufficient workspace: need " +
+              std::to_string(required) + ", got " +
+              std::to_string(workspace_bytes));
+    dev.advance_stream_ms(handle.stream(), dev.model_time_ms(type, algo, p));
+    return;
+  }
+  check_param(a != nullptr && b != nullptr && out != nullptr,
+              "null operand in numeric convolution");
+  kernels::execute(type, algo, p, a, b, out, alpha, beta, workspace,
+                   workspace_bytes);
+  if (dev.is_simulated()) {
+    dev.advance_stream_ms(handle.stream(), dev.model_time_ms(type, algo, p));
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+Status mcudnnGetConvolutionWorkspaceSize(const Handle& handle,
+                                         ConvKernelType type,
+                                         const TensorDesc& in,
+                                         const FilterDesc& w,
+                                         const ConvGeometry& conv,
+                                         const TensorDesc& out, int algo,
+                                         std::size_t* bytes) {
+  UCUDNN_API_BODY({
+    check_param(bytes != nullptr, "null output pointer");
+    *bytes = workspace_size(handle, type, make_problem(type, in, w, conv, out),
+                            algo);
+  });
+}
+
+Status mcudnnGetConvolutionAlgorithm(const Handle& handle, ConvKernelType type,
+                                     const TensorDesc& in, const FilterDesc& w,
+                                     const ConvGeometry& conv,
+                                     const TensorDesc& out,
+                                     AlgoPreference preference,
+                                     std::size_t ws_limit, int* algo) {
+  UCUDNN_API_BODY({
+    check_param(algo != nullptr, "null output pointer");
+    *algo = get_algorithm(handle, type, make_problem(type, in, w, conv, out),
+                          preference, ws_limit);
+  });
+}
+
+Status mcudnnFindConvolutionAlgorithm(const Handle& handle, ConvKernelType type,
+                                      const TensorDesc& in, const FilterDesc& w,
+                                      const ConvGeometry& conv,
+                                      const TensorDesc& out,
+                                      int requested_count, int* returned_count,
+                                      AlgoPerf* results) {
+  UCUDNN_API_BODY({
+    check_param(returned_count != nullptr && results != nullptr,
+                "null output pointer");
+    const auto perfs =
+        find_algorithms(handle, type, make_problem(type, in, w, conv, out));
+    const int n = std::min<int>(requested_count, static_cast<int>(perfs.size()));
+    for (int i = 0; i < n; ++i) results[i] = perfs[static_cast<std::size_t>(i)];
+    *returned_count = n;
+  });
+}
+
+Status mcudnnConvolutionForward(const Handle& handle, float alpha,
+                                const TensorDesc& x_desc, const float* x,
+                                const FilterDesc& w_desc, const float* w,
+                                const ConvGeometry& conv, int algo,
+                                void* workspace, std::size_t workspace_bytes,
+                                float beta, const TensorDesc& y_desc, float* y) {
+  UCUDNN_API_BODY({
+    convolution(handle, ConvKernelType::kForward,
+                make_problem(ConvKernelType::kForward, x_desc, w_desc, conv,
+                             y_desc),
+                alpha, x, w, beta, y, algo, workspace, workspace_bytes);
+  });
+}
+
+Status mcudnnConvolutionBackwardData(const Handle& handle, float alpha,
+                                     const FilterDesc& w_desc, const float* w,
+                                     const TensorDesc& dy_desc, const float* dy,
+                                     const ConvGeometry& conv, int algo,
+                                     void* workspace,
+                                     std::size_t workspace_bytes, float beta,
+                                     const TensorDesc& dx_desc, float* dx) {
+  UCUDNN_API_BODY({
+    convolution(handle, ConvKernelType::kBackwardData,
+                make_problem(ConvKernelType::kBackwardData, dy_desc, w_desc,
+                             conv, dx_desc),
+                alpha, dy, w, beta, dx, algo, workspace, workspace_bytes);
+  });
+}
+
+Status mcudnnConvolutionBackwardFilter(const Handle& handle, float alpha,
+                                       const TensorDesc& x_desc, const float* x,
+                                       const TensorDesc& dy_desc,
+                                       const float* dy, const ConvGeometry& conv,
+                                       int algo, void* workspace,
+                                       std::size_t workspace_bytes, float beta,
+                                       const FilterDesc& dw_desc, float* dw) {
+  UCUDNN_API_BODY({
+    convolution(handle, ConvKernelType::kBackwardFilter,
+                make_problem(ConvKernelType::kBackwardFilter, x_desc, dw_desc,
+                             conv, dy_desc),
+                alpha, x, dy, beta, dw, algo, workspace, workspace_bytes);
+  });
+}
+
+}  // namespace ucudnn::mcudnn

@@ -1,0 +1,76 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <sstream>
+
+namespace ucudnn {
+
+std::string TensorShape::to_string() const {
+  std::ostringstream os;
+  os << "(" << n << ", " << c << ", " << h << ", " << w << ")";
+  return os.str();
+}
+
+std::string FilterDesc::to_string() const {
+  std::ostringstream os;
+  os << "(" << k << ", " << c << ", " << r << ", " << s << ")";
+  return os.str();
+}
+
+TensorShape ConvGeometry::output_shape(const TensorShape& x,
+                                       const FilterDesc& f) const {
+  check_param(x.n >= 1 && x.c >= 1 && x.h >= 1 && x.w >= 1,
+              "input shape must be positive, got " + x.to_string());
+  check_param(f.k >= 1 && f.c >= 1 && f.r >= 1 && f.s >= 1,
+              "filter shape must be positive, got " + f.to_string());
+  check_param(groups >= 1, "groups must be >= 1");
+  check_param(x.c == f.c * groups,
+              "channel mismatch: input c=" + std::to_string(x.c) +
+                  ", filter c=" + std::to_string(f.c) + " x groups=" +
+                  std::to_string(groups));
+  check_param(f.k % groups == 0,
+              "output channels not divisible by groups in " + f.to_string());
+  check_param(stride_h >= 1 && stride_w >= 1, "stride must be >= 1");
+  check_param(dilation_h >= 1 && dilation_w >= 1, "dilation must be >= 1");
+  check_param(pad_h >= 0 && pad_w >= 0, "padding must be >= 0");
+  const std::int64_t oh = out_h(x.h, f.r);
+  const std::int64_t ow = out_w(x.w, f.s);
+  check_param(oh >= 1 && ow >= 1,
+              "degenerate convolution output " + std::to_string(oh) + "x" +
+                  std::to_string(ow));
+  return {x.n, f.k, oh, ow};
+}
+
+void fill_random(float* data, std::int64_t count, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  for (std::int64_t i = 0; i < count; ++i) data[i] = dist(rng);
+}
+
+void fill_random(Tensor& t, std::uint64_t seed) {
+  fill_random(t.data(), t.count(), seed);
+}
+
+void fill_constant(float* data, std::int64_t count, float value) {
+  std::fill(data, data + count, value);
+}
+
+double max_abs_diff(const float* a, const float* b, std::int64_t count) {
+  double result = 0.0;
+  for (std::int64_t i = 0; i < count; ++i) {
+    result = std::max(result, std::abs(static_cast<double>(a[i]) - b[i]));
+  }
+  return result;
+}
+
+double max_rel_diff(const float* a, const float* b, std::int64_t count) {
+  double scale = 1.0;
+  for (std::int64_t i = 0; i < count; ++i) {
+    scale = std::max(scale, std::abs(static_cast<double>(b[i])));
+  }
+  return max_abs_diff(a, b, count) / scale;
+}
+
+}  // namespace ucudnn

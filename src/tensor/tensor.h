@@ -1,0 +1,173 @@
+// NCHW tensor, filter, and convolution-geometry descriptors plus an owning
+// host tensor. These mirror cudnnTensorDescriptor_t / cudnnFilterDescriptor_t /
+// cudnnConvolutionDescriptor_t closely enough that the mcudnn API (and the
+// μ-cuDNN wrapper above it) has the same shape as the real thing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/aligned_buffer.h"
+#include "common/mathutil.h"
+#include "common/status.h"
+
+namespace ucudnn {
+
+/// Data layout. The paper (and this reproduction) evaluates NCHW only; the
+/// enum exists so descriptors carry an explicit layout like cuDNN's.
+enum class TensorLayout { kNCHW };
+
+/// Element type. Single precision only, as in the paper's evaluation.
+enum class DataType { kFloat };
+
+constexpr std::size_t size_of(DataType type) noexcept {
+  switch (type) {
+    case DataType::kFloat: return 4;
+  }
+  return 0;
+}
+
+/// Shape of a 4-D activation tensor: N (batch), C (channels), H, W.
+struct TensorShape {
+  std::int64_t n = 0;
+  std::int64_t c = 0;
+  std::int64_t h = 0;
+  std::int64_t w = 0;
+
+  std::int64_t count() const noexcept { return n * c * h * w; }
+  std::size_t bytes(DataType type = DataType::kFloat) const noexcept {
+    return static_cast<std::size_t>(count()) * size_of(type);
+  }
+  /// Same shape with a different batch size (micro-batching!).
+  TensorShape with_batch(std::int64_t batch) const noexcept {
+    return {batch, c, h, w};
+  }
+  bool operator==(const TensorShape&) const = default;
+  std::string to_string() const;
+};
+
+/// Descriptor of a 4-D activation tensor: shape + layout + dtype.
+struct TensorDesc {
+  TensorShape shape;
+  TensorLayout layout = TensorLayout::kNCHW;
+  DataType dtype = DataType::kFloat;
+
+  bool operator==(const TensorDesc&) const = default;
+
+  /// Linear offset of element (n, c, h, w) in NCHW layout.
+  std::int64_t offset(std::int64_t n, std::int64_t c, std::int64_t h,
+                      std::int64_t w) const noexcept {
+    return ((n * shape.c + c) * shape.h + h) * shape.w + w;
+  }
+};
+
+/// Descriptor of a convolution filter bank: K output channels, C input
+/// channels, R x S kernel window.
+struct FilterDesc {
+  std::int64_t k = 0;
+  std::int64_t c = 0;
+  std::int64_t r = 0;
+  std::int64_t s = 0;
+  DataType dtype = DataType::kFloat;
+
+  std::int64_t count() const noexcept { return k * c * r * s; }
+  std::size_t bytes() const noexcept {
+    return static_cast<std::size_t>(count()) * size_of(dtype);
+  }
+  bool operator==(const FilterDesc&) const = default;
+  std::string to_string() const;
+
+  std::int64_t offset(std::int64_t k_, std::int64_t c_, std::int64_t r_,
+                      std::int64_t s_) const noexcept {
+    return ((k_ * c + c_) * r + r_) * s + s_;
+  }
+};
+
+/// Convolution vs cross-correlation (cuDNN supports both; frameworks almost
+/// always use cross-correlation).
+enum class ConvMode { kCrossCorrelation, kConvolution };
+
+/// Padding / stride / dilation geometry of a 2-D convolution.
+struct ConvGeometry {
+  std::int64_t pad_h = 0;
+  std::int64_t pad_w = 0;
+  std::int64_t stride_h = 1;
+  std::int64_t stride_w = 1;
+  std::int64_t dilation_h = 1;
+  std::int64_t dilation_w = 1;
+  /// Grouped convolution (cudnnSetConvolutionGroupCount): the input's C
+  /// channels split into `groups` disjoint slices; the filter's c field is
+  /// the PER-GROUP input channel count (C / groups), as in cuDNN.
+  std::int64_t groups = 1;
+  ConvMode mode = ConvMode::kCrossCorrelation;
+
+  bool operator==(const ConvGeometry&) const = default;
+
+  std::int64_t dilated_r(std::int64_t r) const noexcept {
+    return (r - 1) * dilation_h + 1;
+  }
+  std::int64_t dilated_s(std::int64_t s) const noexcept {
+    return (s - 1) * dilation_w + 1;
+  }
+
+  /// Output spatial height for input height `h` and kernel height `r`.
+  std::int64_t out_h(std::int64_t h, std::int64_t r) const noexcept {
+    return (h + 2 * pad_h - dilated_r(r)) / stride_h + 1;
+  }
+  /// Output spatial width for input width `w` and kernel width `s`.
+  std::int64_t out_w(std::int64_t w, std::int64_t s) const noexcept {
+    return (w + 2 * pad_w - dilated_s(s)) / stride_w + 1;
+  }
+
+  /// Output tensor shape for input `x` convolved with filter `f`.
+  /// Throws Error(kBadParam) when shapes are inconsistent or degenerate.
+  TensorShape output_shape(const TensorShape& x, const FilterDesc& f) const;
+};
+
+/// Owning host tensor (float, NCHW).
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(const TensorShape& shape, bool zeroed = true)
+      : desc_{shape}, buffer_(static_cast<std::size_t>(shape.count()), zeroed) {}
+  explicit Tensor(const TensorDesc& desc, bool zeroed = true)
+      : desc_(desc),
+        buffer_(static_cast<std::size_t>(desc.shape.count()), zeroed) {}
+
+  const TensorDesc& desc() const noexcept { return desc_; }
+  const TensorShape& shape() const noexcept { return desc_.shape; }
+  std::int64_t count() const noexcept { return desc_.shape.count(); }
+  std::size_t bytes() const noexcept { return desc_.shape.bytes(desc_.dtype); }
+
+  float* data() noexcept { return buffer_.data(); }
+  const float* data() const noexcept { return buffer_.data(); }
+
+  float& at(std::int64_t n, std::int64_t c, std::int64_t h,
+            std::int64_t w) noexcept {
+    return buffer_[static_cast<std::size_t>(desc_.offset(n, c, h, w))];
+  }
+  float at(std::int64_t n, std::int64_t c, std::int64_t h,
+           std::int64_t w) const noexcept {
+    return buffer_[static_cast<std::size_t>(desc_.offset(n, c, h, w))];
+  }
+
+ private:
+  TensorDesc desc_;
+  AlignedBuffer<float> buffer_;
+};
+
+/// Deterministic uniform fill in [-1, 1) from `seed`.
+void fill_random(float* data, std::int64_t count, std::uint64_t seed);
+void fill_random(Tensor& t, std::uint64_t seed);
+
+/// Constant fill.
+void fill_constant(float* data, std::int64_t count, float value);
+
+/// max_i |a_i - b_i|.
+double max_abs_diff(const float* a, const float* b, std::int64_t count);
+
+/// max_i |a_i - b_i| / max(1, max_i |b_i|): scale-aware mismatch measure.
+double max_rel_diff(const float* a, const float* b, std::int64_t count);
+
+}  // namespace ucudnn

@@ -1,0 +1,198 @@
+// Unit tests for src/common: status machinery, env parsing, math helpers,
+// aligned buffers, and the thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "common/env.h"
+#include "common/mathutil.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace ucudnn {
+namespace {
+
+TEST(StatusTest, ToStringCoversAllCodes) {
+  EXPECT_EQ(to_string(Status::kSuccess), "UCUDNN_STATUS_SUCCESS");
+  EXPECT_EQ(to_string(Status::kBadParam), "UCUDNN_STATUS_BAD_PARAM");
+  EXPECT_EQ(to_string(Status::kNotSupported), "UCUDNN_STATUS_NOT_SUPPORTED");
+  EXPECT_EQ(to_string(Status::kAllocFailed), "UCUDNN_STATUS_ALLOC_FAILED");
+}
+
+TEST(StatusTest, ErrorCarriesStatusAndMessage) {
+  const Error error(Status::kBadParam, "something");
+  EXPECT_EQ(error.status(), Status::kBadParam);
+  EXPECT_NE(std::string(error.what()).find("something"), std::string::npos);
+  EXPECT_NE(std::string(error.what()).find("BAD_PARAM"), std::string::npos);
+}
+
+TEST(StatusTest, CheckThrowsOnlyWhenFalse) {
+  EXPECT_NO_THROW(check_param(true, "ok"));
+  EXPECT_THROW(check_param(false, "bad"), Error);
+}
+
+TEST(StatusTest, ApiBodyTranslatesExceptions) {
+  auto api = [](bool fail) -> Status {
+    UCUDNN_API_BODY({
+      if (fail) throw Error(Status::kNotSupported, "nope");
+    });
+  };
+  EXPECT_EQ(api(false), Status::kSuccess);
+  EXPECT_EQ(api(true), Status::kNotSupported);
+}
+
+TEST(EnvTest, StringFallback) {
+  ::unsetenv("UCUDNN_TEST_STR");
+  EXPECT_EQ(env_string("UCUDNN_TEST_STR", "dflt"), "dflt");
+  ::setenv("UCUDNN_TEST_STR", "value", 1);
+  EXPECT_EQ(env_string("UCUDNN_TEST_STR", "dflt"), "value");
+  ::unsetenv("UCUDNN_TEST_STR");
+}
+
+TEST(EnvTest, IntParsing) {
+  ::setenv("UCUDNN_TEST_INT", "42", 1);
+  EXPECT_EQ(env_int("UCUDNN_TEST_INT", 7), 42);
+  ::setenv("UCUDNN_TEST_INT", "4x", 1);
+  EXPECT_THROW(env_int("UCUDNN_TEST_INT", 7), Error);
+  ::unsetenv("UCUDNN_TEST_INT");
+  EXPECT_EQ(env_int("UCUDNN_TEST_INT", 7), 7);
+}
+
+TEST(EnvTest, ByteSuffixes) {
+  EXPECT_EQ(parse_bytes("123"), 123u);
+  EXPECT_EQ(parse_bytes("8K"), 8u << 10);
+  EXPECT_EQ(parse_bytes("64M"), std::size_t{64} << 20);
+  EXPECT_EQ(parse_bytes("2G"), std::size_t{2} << 30);
+  EXPECT_EQ(parse_bytes("2g"), std::size_t{2} << 30);
+  EXPECT_THROW(parse_bytes("x"), Error);
+  EXPECT_THROW(parse_bytes("1T"), Error);
+  EXPECT_THROW(parse_bytes("1MM"), Error);
+}
+
+TEST(EnvTest, BoolParsing) {
+  ::setenv("UCUDNN_TEST_BOOL", "yes", 1);
+  EXPECT_TRUE(env_bool("UCUDNN_TEST_BOOL", false));
+  ::setenv("UCUDNN_TEST_BOOL", "0", 1);
+  EXPECT_FALSE(env_bool("UCUDNN_TEST_BOOL", true));
+  ::setenv("UCUDNN_TEST_BOOL", "maybe", 1);
+  EXPECT_THROW(env_bool("UCUDNN_TEST_BOOL", true), Error);
+  ::unsetenv("UCUDNN_TEST_BOOL");
+}
+
+TEST(MathTest, CeilDivAndRoundUp) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(std::int64_t{1}, std::int64_t{256}), 1);
+  EXPECT_EQ(round_up(10, 8), 16);
+  EXPECT_EQ(round_up(16, 8), 16);
+}
+
+TEST(MathTest, PowersOfTwo) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(31), 32u);
+  EXPECT_EQ(next_pow2(33), 64u);
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(48));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_EQ(ilog2(1), 0);
+  EXPECT_EQ(ilog2(2), 1);
+  EXPECT_EQ(ilog2(255), 7);
+  EXPECT_EQ(ilog2(256), 8);
+}
+
+TEST(AlignedBufferTest, AlignmentAndZeroing) {
+  AlignedBuffer<float> buffer(1000, /*zeroed=*/true);
+  EXPECT_EQ(buffer.size(), 1000u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buffer.data()) % kBufferAlignment,
+            0u);
+  for (std::size_t i = 0; i < buffer.size(); ++i) EXPECT_EQ(buffer[i], 0.0f);
+}
+
+TEST(AlignedBufferTest, MoveTransfersOwnership) {
+  AlignedBuffer<int> a(16, true);
+  a[3] = 99;
+  AlignedBuffer<int> b(std::move(a));
+  EXPECT_EQ(b.size(), 16u);
+  EXPECT_EQ(b[3], 99);
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move): checking state
+  AlignedBuffer<int> c;
+  c = std::move(b);
+  EXPECT_EQ(c[3], 99);
+}
+
+TEST(AlignedBufferTest, EmptyBufferIsSafe) {
+  AlignedBuffer<double> empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.data(), nullptr);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::int64_t begin, std::int64_t end,
+                              std::size_t) {
+    for (std::int64_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::int64_t begin, std::int64_t,
+                                    std::size_t) {
+                                   if (begin >= 0) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, EmptyAndSmallRanges) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::int64_t, std::int64_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> sum{0};
+  pool.parallel_for(1, [&](std::int64_t begin, std::int64_t end, std::size_t) {
+    sum += static_cast<int>(end - begin);
+  });
+  EXPECT_EQ(sum.load(), 1);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  std::atomic<std::int64_t> total{0};
+  ThreadPool::global().parallel_for(8, [&](std::int64_t b, std::int64_t e,
+                                           std::size_t) {
+    for (std::int64_t i = b; i < e; ++i) {
+      ThreadPool::global().parallel_for(
+          16, [&](std::int64_t bb, std::int64_t ee, std::size_t) {
+            total += ee - bb;
+          });
+    }
+  });
+  EXPECT_EQ(total.load(), 8 * 16);
+}
+
+TEST(ThreadPoolTest, ParallelForEachHelper) {
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for_each(257, [&](std::int64_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, MinChunkLimitsSplitGranularity) {
+  ThreadPool pool(8);
+  std::atomic<int> chunks{0};
+  pool.parallel_for(
+      100,
+      [&](std::int64_t, std::int64_t, std::size_t) { chunks.fetch_add(1); },
+      /*min_chunk=*/100);
+  EXPECT_EQ(chunks.load(), 1);
+}
+
+}  // namespace
+}  // namespace ucudnn

@@ -1,0 +1,207 @@
+// Unit and property tests for the FFT substrate: agreement with a direct
+// DFT, roundtrip identity, linearity, Parseval, and the convolution theorem
+// (the property the FFT convolution kernels rely on).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <random>
+#include <vector>
+
+#include "common/status.h"
+#include "fft/fft.h"
+
+namespace ucudnn {
+namespace {
+
+using fft::Complex;
+
+std::vector<Complex> random_signal(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  std::vector<Complex> v(n);
+  for (auto& x : v) x = Complex(dist(rng), dist(rng));
+  return v;
+}
+
+std::vector<Complex> dft_reference(const std::vector<Complex>& in,
+                                   bool inverse) {
+  const std::size_t n = in.size();
+  std::vector<Complex> out(n);
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> acc(0, 0);
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = sign * 2.0 * std::numbers::pi *
+                           static_cast<double>(k * t) / static_cast<double>(n);
+      acc += std::complex<double>(in[t]) *
+             std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+    if (inverse) acc /= static_cast<double>(n);
+    out[k] = Complex(static_cast<float>(acc.real()),
+                     static_cast<float>(acc.imag()));
+  }
+  return out;
+}
+
+double max_err(const std::vector<Complex>& a, const std::vector<Complex>& b) {
+  double e = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    e = std::max(e, static_cast<double>(std::abs(a[i] - b[i])));
+  }
+  return e;
+}
+
+class FftSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizeTest, MatchesDirectDft) {
+  const std::size_t n = GetParam();
+  auto signal = random_signal(n, 17);
+  const auto expected = dft_reference(signal, false);
+  fft::fft(signal.data(), n, false);
+  EXPECT_LT(max_err(signal, expected), 1e-3 * std::sqrt(static_cast<double>(n)));
+}
+
+TEST_P(FftSizeTest, RoundtripIsIdentity) {
+  const std::size_t n = GetParam();
+  const auto original = random_signal(n, 23);
+  auto signal = original;
+  fft::fft(signal.data(), n, false);
+  fft::fft(signal.data(), n, true);
+  EXPECT_LT(max_err(signal, original), 1e-4 * std::sqrt(static_cast<double>(n)));
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwoAndOddSizes, FftSizeTest,
+                         ::testing::Values(1, 2, 4, 8, 16, 64, 256, 3, 5, 7,
+                                           12, 15, 31, 100, 243));
+
+TEST(FftTest, Pow2RejectsNonPowerOfTwo) {
+  std::vector<Complex> v(3);
+  EXPECT_THROW(fft::fft_pow2(v.data(), 3, false), Error);
+}
+
+TEST(FftTest, DeltaTransformsToAllOnes) {
+  std::vector<Complex> v(8, Complex(0, 0));
+  v[0] = Complex(1, 0);
+  fft::fft(v.data(), 8, false);
+  for (const auto& x : v) {
+    EXPECT_NEAR(x.real(), 1.0f, 1e-5);
+    EXPECT_NEAR(x.imag(), 0.0f, 1e-5);
+  }
+}
+
+TEST(FftTest, LinearityProperty) {
+  const std::size_t n = 64;
+  const auto a = random_signal(n, 1);
+  const auto b = random_signal(n, 2);
+  std::vector<Complex> sum(n);
+  for (std::size_t i = 0; i < n; ++i) sum[i] = 2.0f * a[i] + 3.0f * b[i];
+
+  auto fa = a, fb = b, fsum = sum;
+  fft::fft(fa.data(), n, false);
+  fft::fft(fb.data(), n, false);
+  fft::fft(fsum.data(), n, false);
+  std::vector<Complex> combined(n);
+  for (std::size_t i = 0; i < n; ++i) combined[i] = 2.0f * fa[i] + 3.0f * fb[i];
+  EXPECT_LT(max_err(fsum, combined), 1e-3);
+}
+
+TEST(FftTest, ParsevalEnergyPreserved) {
+  const std::size_t n = 128;
+  const auto a = random_signal(n, 3);
+  double time_energy = 0;
+  for (const auto& x : a) time_energy += std::norm(std::complex<double>(x));
+  auto fa = a;
+  fft::fft(fa.data(), n, false);
+  double freq_energy = 0;
+  for (const auto& x : fa) freq_energy += std::norm(std::complex<double>(x));
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              1e-2 * time_energy);
+}
+
+TEST(FftTest, ConvolutionTheoremCircular) {
+  // IFFT(FFT(a) .* FFT(b)) equals circular convolution of a and b.
+  const std::size_t n = 32;
+  const auto a = random_signal(n, 4);
+  const auto b = random_signal(n, 5);
+
+  std::vector<Complex> expected(n, Complex(0, 0));
+  for (std::size_t i = 0; i < n; ++i) {
+    std::complex<double> acc(0, 0);
+    for (std::size_t j = 0; j < n; ++j) {
+      acc += std::complex<double>(a[j]) *
+             std::complex<double>(b[(i + n - j) % n]);
+    }
+    expected[i] = Complex(static_cast<float>(acc.real()),
+                          static_cast<float>(acc.imag()));
+  }
+
+  auto fa = a, fb = b;
+  fft::fft(fa.data(), n, false);
+  fft::fft(fb.data(), n, false);
+  std::vector<Complex> prod(n, Complex(0, 0));
+  fft::multiply_accumulate(fa.data(), fb.data(), prod.data(), n);
+  fft::fft(prod.data(), n, true);
+  EXPECT_LT(max_err(prod, expected), 1e-3);
+}
+
+TEST(FftTest, CorrelationTheoremViaConjugate) {
+  // IFFT(FFT(a) .* conj(FFT(b))) equals circular cross-correlation: the
+  // identity the cross-correlation convolution mode is built on.
+  const std::size_t n = 16;
+  const auto a = random_signal(n, 6);
+  const auto b = random_signal(n, 7);
+
+  std::vector<Complex> expected(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    std::complex<double> acc(0, 0);
+    for (std::size_t t = 0; t < n; ++t) {
+      acc += std::complex<double>(a[(p + t) % n]) *
+             std::conj(std::complex<double>(b[t]));
+    }
+    expected[p] = Complex(static_cast<float>(acc.real()),
+                          static_cast<float>(acc.imag()));
+  }
+
+  auto fa = a, fb = b;
+  fft::fft(fa.data(), n, false);
+  fft::fft(fb.data(), n, false);
+  std::vector<Complex> prod(n, Complex(0, 0));
+  fft::multiply_conj_accumulate(fa.data(), fb.data(), prod.data(), n);
+  fft::fft(prod.data(), n, true);
+  EXPECT_LT(max_err(prod, expected), 1e-3);
+}
+
+TEST(Fft2dTest, MatchesSeparableReference) {
+  const std::size_t rows = 8, cols = 4;
+  auto m = random_signal(rows * cols, 8);
+  auto expected = m;
+  // Reference: DFT rows then DFT columns.
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<Complex> row(expected.begin() + r * cols,
+                             expected.begin() + (r + 1) * cols);
+    row = dft_reference(row, false);
+    std::copy(row.begin(), row.end(), expected.begin() + r * cols);
+  }
+  for (std::size_t c = 0; c < cols; ++c) {
+    std::vector<Complex> col(rows);
+    for (std::size_t r = 0; r < rows; ++r) col[r] = expected[r * cols + c];
+    col = dft_reference(col, false);
+    for (std::size_t r = 0; r < rows; ++r) expected[r * cols + c] = col[r];
+  }
+  fft::fft2d(m.data(), rows, cols, false);
+  EXPECT_LT(max_err(m, expected), 1e-3);
+}
+
+TEST(Fft2dTest, RoundtripIsIdentity) {
+  const std::size_t rows = 16, cols = 32;
+  const auto original = random_signal(rows * cols, 9);
+  auto m = original;
+  fft::fft2d(m.data(), rows, cols, false);
+  fft::fft2d(m.data(), rows, cols, true);
+  EXPECT_LT(max_err(m, original), 1e-3);
+}
+
+}  // namespace
+}  // namespace ucudnn

@@ -1,0 +1,151 @@
+// Unit and property tests for the SGEMM substrate: the blocked parallel
+// implementation must match the naive reference for all transpose modes,
+// alpha/beta combinations, and a sweep of shapes (including non-multiples of
+// the blocking factors).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <tuple>
+#include <vector>
+
+#include "gemm/gemm.h"
+#include "tensor/tensor.h"
+
+namespace ucudnn {
+namespace {
+
+using gemm::Trans;
+
+std::vector<float> random_vec(std::int64_t count, std::uint64_t seed) {
+  std::vector<float> v(static_cast<std::size_t>(count));
+  fill_random(v.data(), count, seed);
+  return v;
+}
+
+struct GemmCase {
+  std::int64_t m, n, k;
+  Trans ta, tb;
+  float alpha, beta;
+};
+
+class GemmParamTest : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmParamTest, MatchesNaiveReference) {
+  const GemmCase p = GetParam();
+  const auto a = random_vec(p.m * p.k, 1);
+  const auto b = random_vec(p.k * p.n, 2);
+  auto c_ref = random_vec(p.m * p.n, 3);
+  auto c_fast = c_ref;
+
+  const std::int64_t lda = p.ta == Trans::kNo ? p.k : p.m;
+  const std::int64_t ldb = p.tb == Trans::kNo ? p.n : p.k;
+  gemm::sgemm_naive(p.ta, p.tb, p.m, p.n, p.k, p.alpha, a.data(), lda, b.data(),
+                    ldb, p.beta, c_ref.data(), p.n);
+  gemm::sgemm(p.ta, p.tb, p.m, p.n, p.k, p.alpha, a.data(), lda, b.data(), ldb,
+              p.beta, c_fast.data(), p.n);
+
+  const double err = max_rel_diff(c_fast.data(), c_ref.data(), p.m * p.n);
+  EXPECT_LT(err, 2e-4) << "m=" << p.m << " n=" << p.n << " k=" << p.k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndModes, GemmParamTest,
+    ::testing::Values(
+        GemmCase{1, 1, 1, Trans::kNo, Trans::kNo, 1.0f, 0.0f},
+        GemmCase{5, 7, 3, Trans::kNo, Trans::kNo, 1.0f, 0.0f},
+        GemmCase{64, 64, 64, Trans::kNo, Trans::kNo, 1.0f, 0.0f},
+        GemmCase{65, 63, 67, Trans::kNo, Trans::kNo, 1.0f, 0.0f},
+        GemmCase{128, 200, 300, Trans::kNo, Trans::kNo, 1.0f, 0.0f},
+        GemmCase{33, 17, 257, Trans::kYes, Trans::kNo, 1.0f, 0.0f},
+        GemmCase{33, 17, 257, Trans::kNo, Trans::kYes, 1.0f, 0.0f},
+        GemmCase{33, 17, 257, Trans::kYes, Trans::kYes, 1.0f, 0.0f},
+        GemmCase{50, 50, 50, Trans::kNo, Trans::kNo, 2.5f, 0.0f},
+        GemmCase{50, 50, 50, Trans::kNo, Trans::kNo, 1.0f, 1.0f},
+        GemmCase{50, 50, 50, Trans::kNo, Trans::kNo, -0.5f, 0.75f},
+        GemmCase{50, 50, 50, Trans::kYes, Trans::kYes, 2.0f, -1.0f},
+        GemmCase{300, 65, 5, Trans::kNo, Trans::kNo, 1.0f, 0.5f},
+        GemmCase{1, 512, 512, Trans::kNo, Trans::kNo, 1.0f, 0.0f},
+        GemmCase{512, 1, 512, Trans::kYes, Trans::kNo, 1.0f, 0.0f}));
+
+TEST(GemmTest, BetaZeroOverwritesNaNs) {
+  // beta == 0 must not propagate existing NaN/garbage in C.
+  const auto a = random_vec(4 * 4, 1);
+  const auto b = random_vec(4 * 4, 2);
+  std::vector<float> c(16, std::numeric_limits<float>::quiet_NaN());
+  gemm::sgemm(Trans::kNo, Trans::kNo, 4, 4, 4, 1.0f, a.data(), b.data(), 0.0f,
+              c.data());
+  for (float v : c) EXPECT_FALSE(std::isnan(v));
+}
+
+TEST(GemmTest, KZeroScalesCOnly) {
+  std::vector<float> c(6, 2.0f);
+  gemm::sgemm(Trans::kNo, Trans::kNo, 2, 3, 0, 1.0f, nullptr, 0, nullptr, 0,
+              0.5f, c.data(), 3);
+  for (float v : c) EXPECT_FLOAT_EQ(v, 1.0f);
+  gemm::sgemm(Trans::kNo, Trans::kNo, 2, 3, 0, 1.0f, nullptr, 0, nullptr, 0,
+              0.0f, c.data(), 3);
+  for (float v : c) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(GemmTest, IdentityMultiplication) {
+  const std::int64_t n = 32;
+  std::vector<float> eye(static_cast<std::size_t>(n * n), 0.0f);
+  for (std::int64_t i = 0; i < n; ++i) eye[static_cast<std::size_t>(i * n + i)] = 1.0f;
+  const auto b = random_vec(n * n, 9);
+  std::vector<float> c(static_cast<std::size_t>(n * n), 0.0f);
+  gemm::sgemm(Trans::kNo, Trans::kNo, n, n, n, 1.0f, eye.data(), b.data(), 0.0f,
+              c.data());
+  EXPECT_LT(max_abs_diff(c.data(), b.data(), n * n), 1e-6);
+}
+
+TEST(GemmTest, StridedLeadingDimensions) {
+  // C is a 3x4 view inside a wider 3x10 buffer; columns 4..9 must be intact.
+  const auto a = random_vec(3 * 5, 1);
+  const auto b = random_vec(5 * 4, 2);
+  std::vector<float> c(30, 7.0f);
+  std::vector<float> c_ref = c;
+  gemm::sgemm(Trans::kNo, Trans::kNo, 3, 4, 5, 1.0f, a.data(), 5, b.data(), 4,
+              0.0f, c.data(), 10);
+  gemm::sgemm_naive(Trans::kNo, Trans::kNo, 3, 4, 5, 1.0f, a.data(), 5,
+                    b.data(), 4, 0.0f, c_ref.data(), 10);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 10; ++j) {
+      if (j < 4) {
+        EXPECT_NEAR(c[static_cast<std::size_t>(i * 10 + j)],
+                    c_ref[static_cast<std::size_t>(i * 10 + j)], 1e-4);
+      } else {
+        EXPECT_EQ(c[static_cast<std::size_t>(i * 10 + j)], 7.0f);
+      }
+    }
+  }
+}
+
+TEST(GemmTest, AssociativityProperty) {
+  // (A*B)*v == A*(B*v) up to float tolerance — exercises accumulation order
+  // robustness of the blocked implementation.
+  const std::int64_t n = 48;
+  const auto a = random_vec(n * n, 4);
+  const auto b = random_vec(n * n, 5);
+  const auto v = random_vec(n, 6);
+
+  std::vector<float> ab(static_cast<std::size_t>(n * n));
+  gemm::sgemm(Trans::kNo, Trans::kNo, n, n, n, 1.0f, a.data(), b.data(), 0.0f,
+              ab.data());
+  std::vector<float> abv(static_cast<std::size_t>(n));
+  gemm::sgemm(Trans::kNo, Trans::kNo, n, 1, n, 1.0f, ab.data(), v.data(), 0.0f,
+              abv.data());
+
+  std::vector<float> bv(static_cast<std::size_t>(n));
+  gemm::sgemm(Trans::kNo, Trans::kNo, n, 1, n, 1.0f, b.data(), v.data(), 0.0f,
+              bv.data());
+  std::vector<float> a_bv(static_cast<std::size_t>(n));
+  gemm::sgemm(Trans::kNo, Trans::kNo, n, 1, n, 1.0f, a.data(), bv.data(), 0.0f,
+              a_bv.data());
+
+  EXPECT_LT(max_rel_diff(abv.data(), a_bv.data(), n), 1e-3);
+}
+
+}  // namespace
+}  // namespace ucudnn

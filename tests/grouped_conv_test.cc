@@ -1,0 +1,228 @@
+// Grouped-convolution tests (cudnnSetConvolutionGroupCount equivalent):
+// geometry validation, numerical agreement of every group-capable algorithm
+// against a hand-rolled per-group reference, support gating (only the
+// implicit/direct family runs grouped problems, as in cuDNN), micro-batching
+// through the μ-cuDNN handle, and the grouped AlexNet model.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "core/ucudnn.h"
+#include "frameworks/caffepp/model_zoo.h"
+#include "kernels/registry.h"
+#include "tensor/tensor.h"
+
+namespace ucudnn::kernels {
+namespace {
+
+// Hand-rolled grouped forward reference: run each group as an independent
+// ungrouped convolution over its channel slices.
+void grouped_forward_reference(const ConvProblem& p, const float* x,
+                               const float* w, float* y) {
+  const std::int64_t groups = p.geom.groups;
+  const std::int64_t kpg = p.w.k / groups;
+  ConvGeometry geom = p.geom;
+  geom.groups = 1;
+  const TensorShape x_slice = {p.x.n, p.w.c, p.x.h, p.x.w};
+  const FilterDesc w_slice{kpg, p.w.c, p.w.r, p.w.s};
+  const ConvProblem slice(x_slice, w_slice, geom);
+
+  std::vector<float> xs(static_cast<std::size_t>(slice.x.count()));
+  std::vector<float> ys(static_cast<std::size_t>(slice.y.count()));
+  for (std::int64_t g = 0; g < groups; ++g) {
+    // Gather group g's input channels.
+    for (std::int64_t n = 0; n < p.x.n; ++n) {
+      const float* src =
+          x + (n * p.x.c + g * p.w.c) * p.x.h * p.x.w;
+      std::copy(src, src + p.w.c * p.x.h * p.x.w,
+                xs.data() + n * p.w.c * p.x.h * p.x.w);
+    }
+    execute(ConvKernelType::kForward, fwd_algo::kDirect, slice, xs.data(),
+            w + g * kpg * p.w.c * p.w.r * p.w.s, ys.data(), 1.0f, 0.0f,
+            nullptr, 0);
+    // Scatter group g's output channels.
+    for (std::int64_t n = 0; n < p.x.n; ++n) {
+      const float* src = ys.data() + n * kpg * p.y.h * p.y.w;
+      float* dst = y + (n * p.y.c + g * kpg) * p.y.h * p.y.w;
+      std::copy(src, src + kpg * p.y.h * p.y.w, dst);
+    }
+  }
+}
+
+ConvProblem grouped_problem(std::int64_t groups, std::int64_t batch = 2) {
+  // 8 input channels split into `groups`, 12 output channels.
+  return ConvProblem({batch, 8, 9, 9}, {12, 8 / groups, 3, 3},
+                     {.pad_h = 1, .pad_w = 1, .groups = groups});
+}
+
+TEST(GroupedGeometryTest, ValidationRules) {
+  // Filter c must be C/groups; K must divide by groups.
+  ConvGeometry g2{.groups = 2};
+  EXPECT_NO_THROW(g2.output_shape({1, 8, 9, 9}, {12, 4, 3, 3}));
+  EXPECT_THROW(g2.output_shape({1, 8, 9, 9}, {12, 8, 3, 3}), Error);
+  EXPECT_THROW(g2.output_shape({1, 8, 9, 9}, {13, 4, 3, 3}), Error);
+  ConvGeometry g0{.groups = 0};
+  EXPECT_THROW(g0.output_shape({1, 8, 9, 9}, {12, 4, 3, 3}), Error);
+}
+
+TEST(GroupedGeometryTest, HashAndToStringIncludeGroups) {
+  const ConvProblem p1 = grouped_problem(2);
+  ConvProblem p2({2, 8, 9, 9}, {12, 2, 3, 3},
+                 {.pad_h = 1, .pad_w = 1, .groups = 4});
+  EXPECT_NE(p1.hash(), p2.hash());
+  EXPECT_NE(p1.to_string().find("groups(2)"), std::string::npos);
+}
+
+TEST(GroupedSupportTest, OnlyImplicitFamilyRunsGroupedProblems) {
+  const ConvProblem p = grouped_problem(2);
+  EXPECT_TRUE(algo_supported(ConvKernelType::kForward, fwd_algo::kDirect, p));
+  EXPECT_TRUE(
+      algo_supported(ConvKernelType::kForward, fwd_algo::kImplicitGemm, p));
+  EXPECT_TRUE(algo_supported(ConvKernelType::kForward,
+                             fwd_algo::kImplicitPrecompGemm, p));
+  EXPECT_FALSE(algo_supported(ConvKernelType::kForward, fwd_algo::kGemm, p));
+  EXPECT_FALSE(algo_supported(ConvKernelType::kForward, fwd_algo::kFft, p));
+  EXPECT_FALSE(
+      algo_supported(ConvKernelType::kForward, fwd_algo::kWinograd, p));
+  EXPECT_TRUE(
+      algo_supported(ConvKernelType::kBackwardData, bwd_data_algo::kAlgo0, p));
+  EXPECT_FALSE(
+      algo_supported(ConvKernelType::kBackwardData, bwd_data_algo::kAlgo1, p));
+  EXPECT_TRUE(algo_supported(ConvKernelType::kBackwardFilter,
+                             bwd_filter_algo::kAlgo0, p));
+  EXPECT_FALSE(algo_supported(ConvKernelType::kBackwardFilter,
+                              bwd_filter_algo::kAlgo3, p));
+}
+
+class GroupedAlgoTest : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(GroupedAlgoTest, ForwardAlgosMatchPerGroupReference) {
+  const ConvProblem p = grouped_problem(GetParam());
+  std::vector<float> x(static_cast<std::size_t>(p.x.count()));
+  std::vector<float> w(static_cast<std::size_t>(p.w.count()));
+  fill_random(x.data(), p.x.count(), 21);
+  fill_random(w.data(), p.w.count(), 22);
+
+  std::vector<float> expected(static_cast<std::size_t>(p.y.count()), 0.0f);
+  grouped_forward_reference(p, x.data(), w.data(), expected.data());
+
+  for (int algo = 0; algo < algo_count(ConvKernelType::kForward); ++algo) {
+    if (!algo_supported(ConvKernelType::kForward, algo, p)) continue;
+    const std::size_t ws_bytes =
+        algo_workspace(ConvKernelType::kForward, algo, p);
+    AlignedBuffer<char> ws(ws_bytes);
+    std::vector<float> y(static_cast<std::size_t>(p.y.count()), 0.0f);
+    execute(ConvKernelType::kForward, algo, p, x.data(), w.data(), y.data(),
+            1.0f, 0.0f, ws.data(), ws_bytes);
+    EXPECT_LT(max_rel_diff(y.data(), expected.data(), p.y.count()), 5e-3)
+        << algo_name(ConvKernelType::kForward, algo) << " groups "
+        << GetParam();
+  }
+}
+
+TEST_P(GroupedAlgoTest, BackwardGradientsAreConsistentWithForward) {
+  // Finite-difference check of BackwardData/BackwardFilter against the
+  // grouped forward (on a reduced problem for speed).
+  const std::int64_t groups = GetParam();
+  const ConvProblem p({1, 4 * groups / 2, 6, 6},
+                      {2 * groups, (4 * groups / 2) / groups, 3, 3},
+                      {.pad_h = 1, .pad_w = 1, .groups = groups});
+  std::vector<float> x(static_cast<std::size_t>(p.x.count()));
+  std::vector<float> w(static_cast<std::size_t>(p.w.count()));
+  std::vector<float> dy(static_cast<std::size_t>(p.y.count()));
+  fill_random(x.data(), p.x.count(), 31);
+  fill_random(w.data(), p.w.count(), 32);
+  fill_random(dy.data(), p.y.count(), 33);
+
+  std::vector<float> dx(static_cast<std::size_t>(p.x.count()), 0.0f);
+  std::vector<float> dw(static_cast<std::size_t>(p.w.count()), 0.0f);
+  execute(ConvKernelType::kBackwardData, bwd_data_algo::kAlgo0, p, dy.data(),
+          w.data(), dx.data(), 1.0f, 0.0f, nullptr, 0);
+  execute(ConvKernelType::kBackwardFilter, bwd_filter_algo::kAlgo0, p,
+          x.data(), dy.data(), dw.data(), 1.0f, 0.0f, nullptr, 0);
+
+  // J = <y, dy>; dJ/dx_i and dJ/dw_i must match finite differences.
+  auto objective = [&](const std::vector<float>& xv,
+                       const std::vector<float>& wv) {
+    std::vector<float> y(static_cast<std::size_t>(p.y.count()), 0.0f);
+    execute(ConvKernelType::kForward, fwd_algo::kDirect, p, xv.data(),
+            wv.data(), y.data(), 1.0f, 0.0f, nullptr, 0);
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < p.y.count(); ++i) acc += y[i] * dy[i];
+    return acc;
+  };
+  const float eps = 1e-2f;
+  for (std::int64_t i = 0; i < p.x.count(); i += p.x.count() / 7) {
+    auto xp = x, xm = x;
+    xp[static_cast<std::size_t>(i)] += eps;
+    xm[static_cast<std::size_t>(i)] -= eps;
+    const double numeric = (objective(xp, w) - objective(xm, w)) / (2 * eps);
+    EXPECT_NEAR(numeric, dx[static_cast<std::size_t>(i)], 2e-2) << "dx " << i;
+  }
+  for (std::int64_t i = 0; i < p.w.count(); i += p.w.count() / 7) {
+    auto wp = w, wm = w;
+    wp[static_cast<std::size_t>(i)] += eps;
+    wm[static_cast<std::size_t>(i)] -= eps;
+    const double numeric = (objective(x, wp) - objective(x, wm)) / (2 * eps);
+    EXPECT_NEAR(numeric, dw[static_cast<std::size_t>(i)], 2e-2) << "dw " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Groups, GroupedAlgoTest, ::testing::Values(2, 4));
+
+TEST(GroupedMicroBatchTest, HandleSplitsGroupedKernels) {
+  // Grouped problems flow through the WR optimizer like any other; the
+  // micro-batched result must match the undivided reference.
+  auto cpu = std::make_shared<device::Device>(device::host_cpu_spec());
+  core::Options opts;
+  opts.batch_size_policy = core::BatchSizePolicy::kPowerOfTwo;
+  opts.workspace_limit = std::size_t{256} << 10;
+  core::UcudnnHandle handle(cpu, opts);
+
+  const ConvProblem p = grouped_problem(2, /*batch=*/6);
+  Tensor x(p.x), w(TensorShape{p.w.k, p.w.c, p.w.r, p.w.s}), y(p.y), ref(p.y);
+  fill_random(x, 41);
+  fill_random(w, 42);
+  handle.convolution(ConvKernelType::kForward, p, 1.0f, x.data(), w.data(),
+                     0.0f, y.data());
+  grouped_forward_reference(p, x.data(), w.data(), ref.data());
+  EXPECT_LT(max_rel_diff(y.data(), ref.data(), p.y.count()), 5e-3);
+}
+
+}  // namespace
+}  // namespace ucudnn::kernels
+
+namespace ucudnn::caffepp {
+namespace {
+
+TEST(GroupedAlexNetTest, ShapesMatchTheTwoTowerOriginal) {
+  auto dev = std::make_shared<device::Device>(device::p100_sxm2_spec());
+  core::Options opts;
+  opts.workspace_limit = std::size_t{64} << 20;
+  core::UcudnnHandle handle(dev, opts);
+  Net net(handle, "alexnet-grouped");
+  build_alexnet_grouped(net, 8);
+  EXPECT_EQ(net.blob("conv2")->shape(), (TensorShape{8, 256, 27, 27}));
+  EXPECT_EQ(net.blob("conv5")->shape(), (TensorShape{8, 256, 13, 13}));
+  // Grouped conv2 has half the parameters of the ungrouped variant.
+  const auto problems = net.conv_problems();
+  EXPECT_EQ(problems.at("conv2").w.c, 48);
+  EXPECT_EQ(problems.at("conv2").geom.groups, 2);
+  EXPECT_EQ(problems.at("conv3").geom.groups, 1);
+}
+
+TEST(GroupedAlexNetTest, VirtualTimingRuns) {
+  auto dev = std::make_shared<device::Device>(device::p100_sxm2_spec());
+  core::Options opts;
+  opts.workspace_limit = std::size_t{64} << 20;
+  core::UcudnnHandle handle(dev, opts);
+  Net net(handle, "alexnet-grouped");
+  build_alexnet_grouped(net, 64);
+  net.time(1);
+  EXPECT_GT(net.last_iteration_ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace ucudnn::caffepp

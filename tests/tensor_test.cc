@@ -1,0 +1,130 @@
+// Unit tests for src/tensor: shapes, descriptors, convolution geometry,
+// owning tensors and fill/compare utilities.
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace ucudnn {
+namespace {
+
+TEST(TensorShapeTest, CountAndBytes) {
+  const TensorShape s{2, 3, 4, 5};
+  EXPECT_EQ(s.count(), 120);
+  EXPECT_EQ(s.bytes(), 480u);
+  EXPECT_EQ(s.with_batch(7).count(), 7 * 60);
+  EXPECT_EQ(s.to_string(), "(2, 3, 4, 5)");
+}
+
+TEST(TensorShapeTest, Equality) {
+  const TensorShape a{1, 2, 3, 4};
+  EXPECT_EQ(a, (TensorShape{1, 2, 3, 4}));
+  EXPECT_NE(a, (TensorShape{2, 2, 3, 4}));
+}
+
+TEST(TensorDescTest, NchwOffsets) {
+  const TensorDesc d{{2, 3, 4, 5}};
+  EXPECT_EQ(d.offset(0, 0, 0, 0), 0);
+  EXPECT_EQ(d.offset(0, 0, 0, 1), 1);
+  EXPECT_EQ(d.offset(0, 0, 1, 0), 5);
+  EXPECT_EQ(d.offset(0, 1, 0, 0), 20);
+  EXPECT_EQ(d.offset(1, 0, 0, 0), 60);
+  EXPECT_EQ(d.offset(1, 2, 3, 4), 119);
+}
+
+TEST(FilterDescTest, CountAndOffsets) {
+  const FilterDesc f{8, 3, 3, 3};
+  EXPECT_EQ(f.count(), 216);
+  EXPECT_EQ(f.bytes(), 864u);
+  EXPECT_EQ(f.offset(0, 0, 0, 0), 0);
+  EXPECT_EQ(f.offset(1, 0, 0, 0), 27);
+  EXPECT_EQ(f.offset(7, 2, 2, 2), 215);
+}
+
+TEST(ConvGeometryTest, OutputShapeBasic) {
+  // AlexNet conv2: 96x27x27 in, 5x5 pad 2 stride 1 -> 256x27x27 out.
+  const ConvGeometry g{.pad_h = 2, .pad_w = 2};
+  const TensorShape x{256, 96, 27, 27};
+  const FilterDesc f{256, 96, 5, 5};
+  EXPECT_EQ(g.output_shape(x, f), (TensorShape{256, 256, 27, 27}));
+}
+
+TEST(ConvGeometryTest, OutputShapeStrided) {
+  // AlexNet conv1: 3x224x224 in, 11x11 stride 4 pad 0? (single-column uses
+  // pad 0 with 227 input); here: 227 -> (227 - 11)/4 + 1 = 55.
+  const ConvGeometry g{.stride_h = 4, .stride_w = 4};
+  const TensorShape x{1, 3, 227, 227};
+  const FilterDesc f{96, 3, 11, 11};
+  EXPECT_EQ(g.output_shape(x, f), (TensorShape{1, 96, 55, 55}));
+}
+
+TEST(ConvGeometryTest, OutputShapeDilated) {
+  const ConvGeometry g{.pad_h = 2, .pad_w = 2, .dilation_h = 2, .dilation_w = 2};
+  const TensorShape x{1, 4, 16, 16};
+  const FilterDesc f{8, 4, 3, 3};
+  // Effective kernel 5x5 pad 2 -> same spatial size.
+  EXPECT_EQ(g.output_shape(x, f), (TensorShape{1, 8, 16, 16}));
+}
+
+TEST(ConvGeometryTest, RejectsChannelMismatch) {
+  const ConvGeometry g;
+  EXPECT_THROW(g.output_shape({1, 3, 8, 8}, {4, 5, 3, 3}), Error);
+}
+
+TEST(ConvGeometryTest, RejectsDegenerateOutput) {
+  const ConvGeometry g;
+  EXPECT_THROW(g.output_shape({1, 1, 2, 2}, {1, 1, 3, 3}), Error);
+}
+
+TEST(ConvGeometryTest, RejectsBadStrideAndPad) {
+  ConvGeometry g;
+  g.stride_h = 0;
+  EXPECT_THROW(g.output_shape({1, 1, 8, 8}, {1, 1, 3, 3}), Error);
+  g = ConvGeometry{};
+  g.pad_w = -1;
+  EXPECT_THROW(g.output_shape({1, 1, 8, 8}, {1, 1, 3, 3}), Error);
+}
+
+TEST(TensorTest, ZeroInitializedByDefault) {
+  Tensor t(TensorShape{1, 2, 3, 3});
+  for (std::int64_t i = 0; i < t.count(); ++i) EXPECT_EQ(t.data()[i], 0.0f);
+}
+
+TEST(TensorTest, AtAccessorsMatchLinearLayout) {
+  Tensor t(TensorShape{2, 2, 2, 2});
+  t.at(1, 1, 1, 1) = 5.0f;
+  t.at(0, 1, 0, 1) = 3.0f;
+  EXPECT_EQ(t.data()[15], 5.0f);
+  EXPECT_EQ(t.data()[5], 3.0f);
+}
+
+TEST(TensorTest, FillRandomIsDeterministic) {
+  Tensor a(TensorShape{1, 3, 8, 8});
+  Tensor b(TensorShape{1, 3, 8, 8});
+  fill_random(a, 42);
+  fill_random(b, 42);
+  EXPECT_EQ(max_abs_diff(a.data(), b.data(), a.count()), 0.0);
+  fill_random(b, 43);
+  EXPECT_GT(max_abs_diff(a.data(), b.data(), a.count()), 0.0);
+}
+
+TEST(TensorTest, FillRandomInRange) {
+  Tensor a(TensorShape{1, 1, 32, 32});
+  fill_random(a, 1);
+  for (std::int64_t i = 0; i < a.count(); ++i) {
+    EXPECT_GE(a.data()[i], -1.0f);
+    EXPECT_LT(a.data()[i], 1.0f);
+  }
+}
+
+TEST(TensorTest, CompareUtilities) {
+  float a[4] = {1.0f, 2.0f, 3.0f, 4.0f};
+  float b[4] = {1.0f, 2.5f, 3.0f, 4.0f};
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b, 4), 0.5);
+  EXPECT_DOUBLE_EQ(max_rel_diff(a, b, 4), 0.5 / 4.0);
+  fill_constant(a, 4, 0.0f);
+  EXPECT_EQ(a[3], 0.0f);
+}
+
+}  // namespace
+}  // namespace ucudnn
