@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_ilp"
+  "../bench/ablation_ilp.pdb"
+  "CMakeFiles/ablation_ilp.dir/ablation_ilp.cc.o"
+  "CMakeFiles/ablation_ilp.dir/ablation_ilp.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

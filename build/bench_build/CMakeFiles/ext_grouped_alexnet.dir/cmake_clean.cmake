@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_grouped_alexnet"
+  "../bench/ext_grouped_alexnet.pdb"
+  "CMakeFiles/ext_grouped_alexnet.dir/ext_grouped_alexnet.cc.o"
+  "CMakeFiles/ext_grouped_alexnet.dir/ext_grouped_alexnet.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_grouped_alexnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

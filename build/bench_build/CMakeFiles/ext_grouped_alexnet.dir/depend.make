@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_grouped_alexnet.
+# This may be replaced when dependencies are built.

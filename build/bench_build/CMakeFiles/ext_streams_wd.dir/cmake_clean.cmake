@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_streams_wd"
+  "../bench/ext_streams_wd.pdb"
+  "CMakeFiles/ext_streams_wd.dir/ext_streams_wd.cc.o"
+  "CMakeFiles/ext_streams_wd.dir/ext_streams_wd.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_streams_wd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_workspace_cliff"
+  "../bench/fig01_workspace_cliff.pdb"
+  "CMakeFiles/fig01_workspace_cliff.dir/fig01_workspace_cliff.cc.o"
+  "CMakeFiles/fig01_workspace_cliff.dir/fig01_workspace_cliff.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_workspace_cliff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_pareto_front"
+  "../bench/fig08_pareto_front.pdb"
+  "CMakeFiles/fig08_pareto_front.dir/fig08_pareto_front.cc.o"
+  "CMakeFiles/fig08_pareto_front.dir/fig08_pareto_front.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_pareto_front.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

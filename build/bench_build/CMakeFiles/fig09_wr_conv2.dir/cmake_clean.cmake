@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_wr_conv2"
+  "../bench/fig09_wr_conv2.pdb"
+  "CMakeFiles/fig09_wr_conv2.dir/fig09_wr_conv2.cc.o"
+  "CMakeFiles/fig09_wr_conv2.dir/fig09_wr_conv2.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_wr_conv2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

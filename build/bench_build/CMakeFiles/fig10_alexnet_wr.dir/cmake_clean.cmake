@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_alexnet_wr"
+  "../bench/fig10_alexnet_wr.pdb"
+  "CMakeFiles/fig10_alexnet_wr.dir/fig10_alexnet_wr.cc.o"
+  "CMakeFiles/fig10_alexnet_wr.dir/fig10_alexnet_wr.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_alexnet_wr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_tensorflow_wr"
+  "../bench/fig11_tensorflow_wr.pdb"
+  "CMakeFiles/fig11_tensorflow_wr.dir/fig11_tensorflow_wr.cc.o"
+  "CMakeFiles/fig11_tensorflow_wr.dir/fig11_tensorflow_wr.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_tensorflow_wr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_memory"
+  "../bench/fig12_memory.pdb"
+  "CMakeFiles/fig12_memory.dir/fig12_memory.cc.o"
+  "CMakeFiles/fig12_memory.dir/fig12_memory.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_wd_vs_wr"
+  "../bench/fig13_wd_vs_wr.pdb"
+  "CMakeFiles/fig13_wd_vs_wr.dir/fig13_wd_vs_wr.cc.o"
+  "CMakeFiles/fig13_wd_vs_wr.dir/fig13_wd_vs_wr.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_wd_vs_wr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_wd_vs_wr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_wd_division"
+  "../bench/fig14_wd_division.pdb"
+  "CMakeFiles/fig14_wd_division.dir/fig14_wd_division.cc.o"
+  "CMakeFiles/fig14_wd_division.dir/fig14_wd_division.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_wd_division.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/opt_overhead"
+  "../bench/opt_overhead.pdb"
+  "CMakeFiles/opt_overhead.dir/opt_overhead.cc.o"
+  "CMakeFiles/opt_overhead.dir/opt_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

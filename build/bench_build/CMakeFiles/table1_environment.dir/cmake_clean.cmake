@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_environment"
+  "../bench/table1_environment.pdb"
+  "CMakeFiles/table1_environment.dir/table1_environment.cc.o"
+  "CMakeFiles/table1_environment.dir/table1_environment.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_environment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

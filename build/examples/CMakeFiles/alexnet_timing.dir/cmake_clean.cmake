@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alexnet_timing.dir/alexnet_timing.cc.o"
+  "CMakeFiles/alexnet_timing.dir/alexnet_timing.cc.o.d"
+  "alexnet_timing"
+  "alexnet_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alexnet_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inception_wd.dir/inception_wd.cc.o"
+  "CMakeFiles/inception_wd.dir/inception_wd.cc.o.d"
+  "inception_wd"
+  "inception_wd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inception_wd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

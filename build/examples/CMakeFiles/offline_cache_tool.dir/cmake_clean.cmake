@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_cache_tool.dir/offline_cache_tool.cc.o"
+  "CMakeFiles/offline_cache_tool.dir/offline_cache_tool.cc.o.d"
+  "offline_cache_tool"
+  "offline_cache_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_cache_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

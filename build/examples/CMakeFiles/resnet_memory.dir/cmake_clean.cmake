@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resnet_memory.dir/resnet_memory.cc.o"
+  "CMakeFiles/resnet_memory.dir/resnet_memory.cc.o.d"
+  "resnet_memory"
+  "resnet_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resnet_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

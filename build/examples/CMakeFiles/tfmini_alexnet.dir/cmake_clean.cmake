@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfmini_alexnet.dir/tfmini_alexnet.cc.o"
+  "CMakeFiles/tfmini_alexnet.dir/tfmini_alexnet.cc.o.d"
+  "tfmini_alexnet"
+  "tfmini_alexnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfmini_alexnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

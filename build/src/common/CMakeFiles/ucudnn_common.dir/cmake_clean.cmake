@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucudnn_common.dir/env.cc.o"
+  "CMakeFiles/ucudnn_common.dir/env.cc.o.d"
+  "CMakeFiles/ucudnn_common.dir/logging.cc.o"
+  "CMakeFiles/ucudnn_common.dir/logging.cc.o.d"
+  "CMakeFiles/ucudnn_common.dir/thread_pool.cc.o"
+  "CMakeFiles/ucudnn_common.dir/thread_pool.cc.o.d"
+  "libucudnn_common.a"
+  "libucudnn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucudnn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

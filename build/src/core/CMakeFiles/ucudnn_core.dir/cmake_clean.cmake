@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucudnn_core.dir/benchmark_cache.cc.o"
+  "CMakeFiles/ucudnn_core.dir/benchmark_cache.cc.o.d"
+  "CMakeFiles/ucudnn_core.dir/benchmarker.cc.o"
+  "CMakeFiles/ucudnn_core.dir/benchmarker.cc.o.d"
+  "CMakeFiles/ucudnn_core.dir/options.cc.o"
+  "CMakeFiles/ucudnn_core.dir/options.cc.o.d"
+  "CMakeFiles/ucudnn_core.dir/types.cc.o"
+  "CMakeFiles/ucudnn_core.dir/types.cc.o.d"
+  "CMakeFiles/ucudnn_core.dir/ucudnn.cc.o"
+  "CMakeFiles/ucudnn_core.dir/ucudnn.cc.o.d"
+  "CMakeFiles/ucudnn_core.dir/wd_optimizer.cc.o"
+  "CMakeFiles/ucudnn_core.dir/wd_optimizer.cc.o.d"
+  "CMakeFiles/ucudnn_core.dir/wr_optimizer.cc.o"
+  "CMakeFiles/ucudnn_core.dir/wr_optimizer.cc.o.d"
+  "libucudnn_core.a"
+  "libucudnn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucudnn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

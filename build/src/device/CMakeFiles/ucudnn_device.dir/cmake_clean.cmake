@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucudnn_device.dir/device.cc.o"
+  "CMakeFiles/ucudnn_device.dir/device.cc.o.d"
+  "libucudnn_device.a"
+  "libucudnn_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucudnn_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

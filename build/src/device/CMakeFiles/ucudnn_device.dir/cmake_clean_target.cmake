@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libucudnn_device.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucudnn_fft.dir/fft.cc.o"
+  "CMakeFiles/ucudnn_fft.dir/fft.cc.o.d"
+  "libucudnn_fft.a"
+  "libucudnn_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucudnn_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frameworks/caffepp/blob.cc" "src/frameworks/caffepp/CMakeFiles/ucudnn_caffepp.dir/blob.cc.o" "gcc" "src/frameworks/caffepp/CMakeFiles/ucudnn_caffepp.dir/blob.cc.o.d"
+  "/root/repo/src/frameworks/caffepp/layers.cc" "src/frameworks/caffepp/CMakeFiles/ucudnn_caffepp.dir/layers.cc.o" "gcc" "src/frameworks/caffepp/CMakeFiles/ucudnn_caffepp.dir/layers.cc.o.d"
+  "/root/repo/src/frameworks/caffepp/model_zoo.cc" "src/frameworks/caffepp/CMakeFiles/ucudnn_caffepp.dir/model_zoo.cc.o" "gcc" "src/frameworks/caffepp/CMakeFiles/ucudnn_caffepp.dir/model_zoo.cc.o.d"
+  "/root/repo/src/frameworks/caffepp/net.cc" "src/frameworks/caffepp/CMakeFiles/ucudnn_caffepp.dir/net.cc.o" "gcc" "src/frameworks/caffepp/CMakeFiles/ucudnn_caffepp.dir/net.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ucudnn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcudnn/CMakeFiles/ucudnn_mcudnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/ucudnn_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/ucudnn_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ucudnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/gemm/CMakeFiles/ucudnn_gemm.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/ucudnn_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/ucudnn_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ucudnn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

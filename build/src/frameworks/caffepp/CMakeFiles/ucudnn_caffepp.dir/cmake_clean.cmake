@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucudnn_caffepp.dir/blob.cc.o"
+  "CMakeFiles/ucudnn_caffepp.dir/blob.cc.o.d"
+  "CMakeFiles/ucudnn_caffepp.dir/layers.cc.o"
+  "CMakeFiles/ucudnn_caffepp.dir/layers.cc.o.d"
+  "CMakeFiles/ucudnn_caffepp.dir/model_zoo.cc.o"
+  "CMakeFiles/ucudnn_caffepp.dir/model_zoo.cc.o.d"
+  "CMakeFiles/ucudnn_caffepp.dir/net.cc.o"
+  "CMakeFiles/ucudnn_caffepp.dir/net.cc.o.d"
+  "libucudnn_caffepp.a"
+  "libucudnn_caffepp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucudnn_caffepp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ucudnn_caffepp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucudnn_tfmini.dir/models.cc.o"
+  "CMakeFiles/ucudnn_tfmini.dir/models.cc.o.d"
+  "CMakeFiles/ucudnn_tfmini.dir/tfmini.cc.o"
+  "CMakeFiles/ucudnn_tfmini.dir/tfmini.cc.o.d"
+  "libucudnn_tfmini.a"
+  "libucudnn_tfmini.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucudnn_tfmini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ucudnn_tfmini.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucudnn_gemm.dir/gemm.cc.o"
+  "CMakeFiles/ucudnn_gemm.dir/gemm.cc.o.d"
+  "libucudnn_gemm.a"
+  "libucudnn_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucudnn_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

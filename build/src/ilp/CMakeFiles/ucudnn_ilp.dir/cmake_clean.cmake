@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucudnn_ilp.dir/branch_bound.cc.o"
+  "CMakeFiles/ucudnn_ilp.dir/branch_bound.cc.o.d"
+  "CMakeFiles/ucudnn_ilp.dir/mckp.cc.o"
+  "CMakeFiles/ucudnn_ilp.dir/mckp.cc.o.d"
+  "CMakeFiles/ucudnn_ilp.dir/simplex.cc.o"
+  "CMakeFiles/ucudnn_ilp.dir/simplex.cc.o.d"
+  "libucudnn_ilp.a"
+  "libucudnn_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucudnn_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/direct.cc" "src/kernels/CMakeFiles/ucudnn_kernels.dir/direct.cc.o" "gcc" "src/kernels/CMakeFiles/ucudnn_kernels.dir/direct.cc.o.d"
+  "/root/repo/src/kernels/fft_conv.cc" "src/kernels/CMakeFiles/ucudnn_kernels.dir/fft_conv.cc.o" "gcc" "src/kernels/CMakeFiles/ucudnn_kernels.dir/fft_conv.cc.o.d"
+  "/root/repo/src/kernels/gemm_conv.cc" "src/kernels/CMakeFiles/ucudnn_kernels.dir/gemm_conv.cc.o" "gcc" "src/kernels/CMakeFiles/ucudnn_kernels.dir/gemm_conv.cc.o.d"
+  "/root/repo/src/kernels/im2col.cc" "src/kernels/CMakeFiles/ucudnn_kernels.dir/im2col.cc.o" "gcc" "src/kernels/CMakeFiles/ucudnn_kernels.dir/im2col.cc.o.d"
+  "/root/repo/src/kernels/registry.cc" "src/kernels/CMakeFiles/ucudnn_kernels.dir/registry.cc.o" "gcc" "src/kernels/CMakeFiles/ucudnn_kernels.dir/registry.cc.o.d"
+  "/root/repo/src/kernels/winograd.cc" "src/kernels/CMakeFiles/ucudnn_kernels.dir/winograd.cc.o" "gcc" "src/kernels/CMakeFiles/ucudnn_kernels.dir/winograd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ucudnn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ucudnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/gemm/CMakeFiles/ucudnn_gemm.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/ucudnn_fft.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

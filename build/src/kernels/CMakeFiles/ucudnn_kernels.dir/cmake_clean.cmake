@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucudnn_kernels.dir/direct.cc.o"
+  "CMakeFiles/ucudnn_kernels.dir/direct.cc.o.d"
+  "CMakeFiles/ucudnn_kernels.dir/fft_conv.cc.o"
+  "CMakeFiles/ucudnn_kernels.dir/fft_conv.cc.o.d"
+  "CMakeFiles/ucudnn_kernels.dir/gemm_conv.cc.o"
+  "CMakeFiles/ucudnn_kernels.dir/gemm_conv.cc.o.d"
+  "CMakeFiles/ucudnn_kernels.dir/im2col.cc.o"
+  "CMakeFiles/ucudnn_kernels.dir/im2col.cc.o.d"
+  "CMakeFiles/ucudnn_kernels.dir/registry.cc.o"
+  "CMakeFiles/ucudnn_kernels.dir/registry.cc.o.d"
+  "CMakeFiles/ucudnn_kernels.dir/winograd.cc.o"
+  "CMakeFiles/ucudnn_kernels.dir/winograd.cc.o.d"
+  "libucudnn_kernels.a"
+  "libucudnn_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucudnn_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mcudnn/mcudnn.cc" "src/mcudnn/CMakeFiles/ucudnn_mcudnn.dir/mcudnn.cc.o" "gcc" "src/mcudnn/CMakeFiles/ucudnn_mcudnn.dir/mcudnn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/device/CMakeFiles/ucudnn_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/ucudnn_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ucudnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/gemm/CMakeFiles/ucudnn_gemm.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/ucudnn_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ucudnn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucudnn_mcudnn.dir/mcudnn.cc.o"
+  "CMakeFiles/ucudnn_mcudnn.dir/mcudnn.cc.o.d"
+  "libucudnn_mcudnn.a"
+  "libucudnn_mcudnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucudnn_mcudnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

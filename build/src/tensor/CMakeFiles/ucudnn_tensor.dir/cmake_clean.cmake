@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucudnn_tensor.dir/tensor.cc.o"
+  "CMakeFiles/ucudnn_tensor.dir/tensor.cc.o.d"
+  "libucudnn_tensor.a"
+  "libucudnn_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucudnn_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caffepp_test.dir/caffepp_test.cc.o"
+  "CMakeFiles/caffepp_test.dir/caffepp_test.cc.o.d"
+  "caffepp_test"
+  "caffepp_test.pdb"
+  "caffepp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caffepp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

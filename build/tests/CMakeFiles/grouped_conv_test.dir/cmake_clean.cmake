@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grouped_conv_test.dir/grouped_conv_test.cc.o"
+  "CMakeFiles/grouped_conv_test.dir/grouped_conv_test.cc.o.d"
+  "grouped_conv_test"
+  "grouped_conv_test.pdb"
+  "grouped_conv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grouped_conv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

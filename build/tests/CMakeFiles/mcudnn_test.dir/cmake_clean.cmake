@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcudnn_test.dir/mcudnn_test.cc.o"
+  "CMakeFiles/mcudnn_test.dir/mcudnn_test.cc.o.d"
+  "mcudnn_test"
+  "mcudnn_test.pdb"
+  "mcudnn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcudnn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfmini_test.dir/tfmini_test.cc.o"
+  "CMakeFiles/tfmini_test.dir/tfmini_test.cc.o.d"
+  "tfmini_test"
+  "tfmini_test.pdb"
+  "tfmini_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfmini_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
