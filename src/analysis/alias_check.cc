@@ -1,0 +1,40 @@
+#include "analysis/alias_check.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace ucudnn::analysis {
+
+bool spans_overlap(const MemSpan& a, const MemSpan& b) noexcept {
+  if (a.ptr == nullptr || b.ptr == nullptr) return false;
+  if (a.bytes == 0 || b.bytes == 0) return false;
+  const auto a_begin = reinterpret_cast<std::uintptr_t>(a.ptr);
+  const auto b_begin = reinterpret_cast<std::uintptr_t>(b.ptr);
+  return a_begin < b_begin + b.bytes && b_begin < a_begin + a.bytes;
+}
+
+void check_disjoint(const std::vector<MemSpan>& spans) {
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    for (std::size_t j = i + 1; j < spans.size(); ++j) {
+      if (!spans_overlap(spans[i], spans[j])) continue;
+      const auto i_begin = reinterpret_cast<std::uintptr_t>(spans[i].ptr);
+      const auto j_begin = reinterpret_cast<std::uintptr_t>(spans[j].ptr);
+      const std::uintptr_t overlap =
+          std::min(i_begin + spans[i].bytes, j_begin + spans[j].bytes) -
+          std::max(i_begin, j_begin);
+      throw Error(Status::kInternalError,
+                  "alias audit: span '" + std::string(spans[i].name) + "' (" +
+                      std::to_string(spans[i].bytes) + " B) overlaps span '" +
+                      std::string(spans[j].name) + "' (" +
+                      std::to_string(spans[j].bytes) + " B) by " +
+                      std::to_string(static_cast<std::size_t>(overlap)) +
+                      " bytes; micro-batch beta-accumulation requires "
+                      "disjoint buffers");
+    }
+  }
+}
+
+}  // namespace ucudnn::analysis

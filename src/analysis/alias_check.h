@@ -1,0 +1,31 @@
+// Buffer aliasing/overlap checker for the micro-batch execution path.
+//
+// BackwardFilter accumulates dw across micro-batches with beta=1 (the output
+// scale trick, §III-A of the paper), so a workspace that aliases an operand
+// or the accumulator silently corrupts gradients. Under the workspace audit
+// the WR/WD execution path verifies all live spans are pairwise disjoint
+// before every micro-batched convolution.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace ucudnn::analysis {
+
+/// One live device span: half-open byte range [ptr, ptr + bytes).
+struct MemSpan {
+  const void* ptr = nullptr;
+  std::size_t bytes = 0;
+  std::string_view name;  ///< role in diagnostics, e.g. "workspace", "dw"
+};
+
+/// True iff the two spans share at least one byte (empty/null spans never
+/// overlap anything).
+bool spans_overlap(const MemSpan& a, const MemSpan& b) noexcept;
+
+/// Verifies all spans are pairwise disjoint. Throws Error(kInternalError)
+/// naming both offending spans and the size of the overlap.
+void check_disjoint(const std::vector<MemSpan>& spans);
+
+}  // namespace ucudnn::analysis

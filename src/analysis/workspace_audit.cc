@@ -1,0 +1,132 @@
+#include "analysis/workspace_audit.h"
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "common/env.h"
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace ucudnn::analysis {
+
+namespace {
+
+// -1 = read UCUDNN_AUDIT_WORKSPACE lazily; 0/1 = forced.
+std::atomic<int> g_audit_override{-1};
+
+std::mutex g_stats_mutex;
+std::map<std::string, AuditStats>& stats_registry() {
+  static std::map<std::string, AuditStats> registry;
+  return registry;
+}
+
+thread_local std::vector<std::string> t_context_stack;
+
+}  // namespace
+
+bool workspace_audit_enabled() {
+  const int forced = g_audit_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return forced != 0;
+  static const bool from_env = env_bool("UCUDNN_AUDIT_WORKSPACE", false);
+  return from_env;
+}
+
+void set_workspace_audit_enabled(bool enabled) {
+  g_audit_override.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+ScopedAuditContext::ScopedAuditContext(std::string label) {
+  t_context_stack.push_back(std::move(label));
+}
+
+ScopedAuditContext::~ScopedAuditContext() { t_context_stack.pop_back(); }
+
+std::string current_audit_context() {
+  std::string joined;
+  for (const std::string& label : t_context_stack) {
+    if (!joined.empty()) joined += "/";
+    joined += label;
+  }
+  return joined;
+}
+
+AuditedBuffer::AuditedBuffer(std::size_t declared_bytes, std::string kernel)
+    : storage_(declared_bytes + 2 * kRedzoneBytes),
+      declared_(declared_bytes),
+      kernel_(std::move(kernel)) {
+  std::memset(storage_.data(), kRedzonePoison, kRedzoneBytes);
+  std::memset(interior(), kInteriorPoison, declared_);
+  std::memset(interior() + declared_, kRedzonePoison, kRedzoneBytes);
+}
+
+void AuditedBuffer::verify() const {
+  const unsigned char* front = storage_.data();
+  const unsigned char* back = interior() + declared_;
+  for (std::size_t i = 0; i < kRedzoneBytes; ++i) {
+    // Scan the trailing zone first: overruns (under-declared workspace) are
+    // by far the common failure, and the smallest offset is the most useful.
+    if (back[i] != kRedzonePoison) {
+      std::string context = current_audit_context();
+      throw Error(Status::kInternalError,
+                  "workspace audit: kernel " +
+                      (context.empty() ? kernel_ : context + "/" + kernel_) +
+                      " wrote past its declared workspace of " +
+                      std::to_string(declared_) + " bytes (red-zone hit at " +
+                      "byte offset " + std::to_string(declared_ + i) +
+                      "): under-declared workspace_size() or buffer overrun");
+    }
+  }
+  for (std::size_t i = 0; i < kRedzoneBytes; ++i) {
+    if (front[i] != kRedzonePoison) {
+      std::string context = current_audit_context();
+      throw Error(Status::kInternalError,
+                  "workspace audit: kernel " +
+                      (context.empty() ? kernel_ : context + "/" + kernel_) +
+                      " wrote before its workspace (red-zone hit at byte "
+                      "offset -" +
+                      std::to_string(kRedzoneBytes - i) + ")");
+    }
+  }
+}
+
+std::size_t AuditedBuffer::touched_bytes() const noexcept {
+  const unsigned char* span = interior();
+  for (std::size_t i = declared_; i > 0; --i) {
+    if (span[i - 1] != kInteriorPoison) return i;
+  }
+  return 0;
+}
+
+void record_audit(const std::string& kernel, std::size_t declared,
+                  std::size_t touched) {
+  const std::lock_guard<std::mutex> lock(g_stats_mutex);
+  AuditStats& stats = stats_registry()[kernel];
+  if (declared > stats.declared_bytes) stats.declared_bytes = declared;
+  if (touched > stats.max_touched) stats.max_touched = touched;
+  const std::size_t slack = declared >= touched ? declared - touched : 0;
+  if (slack < stats.min_slack) stats.min_slack = slack;
+  ++stats.runs;
+}
+
+std::map<std::string, AuditStats> audit_report() {
+  const std::lock_guard<std::mutex> lock(g_stats_mutex);
+  return stats_registry();
+}
+
+void reset_audit_stats() {
+  const std::lock_guard<std::mutex> lock(g_stats_mutex);
+  stats_registry().clear();
+}
+
+void log_audit_report() {
+  for (const auto& [kernel, stats] : audit_report()) {
+    UCUDNN_LOG_INFO << "workspace audit: " << kernel << " declared up to "
+                    << stats.declared_bytes << " B, touched high-water "
+                    << stats.max_touched << " B, min slack " << stats.min_slack
+                    << " B over " << stats.runs << " run(s)";
+  }
+}
+
+}  // namespace ucudnn::analysis

@@ -1,0 +1,119 @@
+// Debug-mode workspace-contract auditor (enabled via UCUDNN_AUDIT_WORKSPACE).
+//
+// The whole μ-cuDNN optimization rests on one contract: an algorithm's
+// declared workspace size (kernels::algo_workspace) is what its execution
+// actually touches. The WR dynamic program and the WD ILP both optimize over
+// those declarations, and cuDNN's one-byte-short fallback cliff (Fig. 1 of
+// the paper) shows how silently wrong things go when the accounting is off.
+//
+// When auditing is enabled, kernels::execute routes every workspace through
+// an AuditedBuffer: a fresh allocation of exactly the DECLARED size, bracketed
+// by poisoned red-zones and pre-filled with an interior poison pattern. On
+// kernel return the red-zones are verified byte-by-byte — a kernel that
+// overruns its buffer or under-declares its requirement fails loudly with
+// Status::kInternalError naming the kernel and the offending byte offset —
+// and the interior poison high-water mark records how many bytes the kernel
+// actually touched, aggregated per kernel in a process-wide registry.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "common/aligned_buffer.h"
+
+namespace ucudnn::analysis {
+
+/// Red-zone width on each side of the audited span. A multiple of
+/// kBufferAlignment so the interior keeps the allocator's alignment.
+inline constexpr std::size_t kRedzoneBytes = kBufferAlignment;
+
+/// Poison byte written into both red-zones.
+inline constexpr unsigned char kRedzonePoison = 0xA5;
+
+/// Poison byte pre-filling the audited interior (high-water tracking).
+inline constexpr unsigned char kInteriorPoison = 0xC3;
+
+/// Whether workspace auditing is on. Reads UCUDNN_AUDIT_WORKSPACE once on
+/// first use; set_workspace_audit_enabled overrides it (tests, tools).
+bool workspace_audit_enabled();
+void set_workspace_audit_enabled(bool enabled);
+
+/// Pushes a label onto the calling thread's audit-context stack; diagnostics
+/// and high-water records are attributed "ctx1/ctx2/kernel". Lets the
+/// benchmarker and the WR/WD execution paths tell apart violations of the
+/// same kernel.
+class ScopedAuditContext {
+ public:
+  explicit ScopedAuditContext(std::string label);
+  ~ScopedAuditContext();
+  ScopedAuditContext(const ScopedAuditContext&) = delete;
+  ScopedAuditContext& operator=(const ScopedAuditContext&) = delete;
+};
+
+/// The calling thread's joined context stack ("" when empty).
+std::string current_audit_context();
+
+/// A workspace span instrumented with red-zones and interior poison.
+class AuditedBuffer {
+ public:
+  /// Allocates `declared_bytes` of workspace plus both red-zones and poisons
+  /// everything. `kernel` names the algorithm in diagnostics.
+  AuditedBuffer(std::size_t declared_bytes, std::string kernel);
+
+  /// The audited workspace span handed to the kernel. Non-null even for a
+  /// zero-byte declaration: a kernel that writes despite declaring nothing
+  /// lands in the trailing red-zone instead of dereferencing null.
+  void* data() noexcept { return interior(); }
+  std::size_t size() const noexcept { return declared_; }
+
+  /// Verifies both red-zones. Throws Error(kInternalError) naming the kernel
+  /// and the byte offset relative to the declared span on any violation
+  /// (negative offset = underrun before the span, offset >= declared =
+  /// overrun / under-declaration past it).
+  void verify() const;
+
+  /// High-water mark: bytes from the span start through the last byte whose
+  /// interior poison was overwritten. (A kernel storing the poison byte
+  /// itself can under-count — acceptable for a debug-mode watermark.)
+  std::size_t touched_bytes() const noexcept;
+
+ private:
+  unsigned char* interior() noexcept { return storage_.data() + kRedzoneBytes; }
+  const unsigned char* interior() const noexcept {
+    return storage_.data() + kRedzoneBytes;
+  }
+
+  AlignedBuffer<unsigned char> storage_;
+  std::size_t declared_ = 0;
+  std::string kernel_;
+};
+
+/// Aggregated audit observations of one kernel (keyed by its display name;
+/// runs of the same kernel over different problems share an entry, so all
+/// fields aggregate across problem shapes).
+struct AuditStats {
+  std::size_t declared_bytes = 0;   ///< largest declared size seen
+  std::size_t max_touched = 0;      ///< high-water over all audited runs
+  /// Smallest per-run (declared - touched) gap: 0 means some run used its
+  /// whole declaration; a large value across many runs suggests the
+  /// declaration over-reserves (per-run touched > declared cannot appear
+  /// here — it throws in verify() first).
+  std::size_t min_slack = static_cast<std::size_t>(-1);
+  std::size_t runs = 0;             ///< audited executions
+};
+
+/// Records one audited execution in the process-wide registry (thread-safe).
+void record_audit(const std::string& kernel, std::size_t declared,
+                  std::size_t touched);
+
+/// Snapshot of the registry.
+std::map<std::string, AuditStats> audit_report();
+
+/// Clears the registry (tests).
+void reset_audit_stats();
+
+/// Logs one INFO line per audited kernel: declared vs touched high-water.
+void log_audit_report();
+
+}  // namespace ucudnn::analysis

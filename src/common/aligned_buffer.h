@@ -3,7 +3,9 @@
 
 #include <cstddef>
 #include <cstdlib>
+#include <cstring>
 #include <new>
+#include <type_traits>
 #include <utility>
 
 namespace ucudnn {
@@ -25,7 +27,12 @@ class AlignedBuffer {
     data_ = static_cast<T*>(std::aligned_alloc(kBufferAlignment, bytes));
     if (data_ == nullptr) throw std::bad_alloc();
     if (zeroed) {
-      for (std::size_t i = 0; i < count_; ++i) data_[i] = T{};
+      if constexpr (std::is_trivially_copyable_v<T>) {
+        // One memset instead of an element loop; hot for large workspaces.
+        std::memset(data_, 0, count_ * sizeof(T));
+      } else {
+        for (std::size_t i = 0; i < count_; ++i) data_[i] = T{};
+      }
     }
   }
 
@@ -50,6 +57,8 @@ class AlignedBuffer {
   T* data() noexcept { return data_; }
   const T* data() const noexcept { return data_; }
   std::size_t size() const noexcept { return count_; }
+  /// Content size in bytes (size() * sizeof(T)), excluding alignment padding.
+  std::size_t bytes() const noexcept { return count_ * sizeof(T); }
   bool empty() const noexcept { return count_ == 0; }
 
   T& operator[](std::size_t i) noexcept { return data_[i]; }

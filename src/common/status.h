@@ -12,7 +12,12 @@
 namespace ucudnn {
 
 /// Result code of an mcudnn/ucudnn API call. Mirrors cudnnStatus_t.
-enum class Status {
+/// [[nodiscard]] on the type: silently dropping a Status anywhere is a
+/// build warning (an error under UCUDNN_WERROR) — the mcudnn API boundary
+/// is exactly where ignored errors turn into the paper's silent-fallback
+/// class of bug. Use tools/check_status_discipline.py to catch the
+/// patterns the compiler cannot.
+enum class [[nodiscard]] Status {
   kSuccess = 0,
   kNotInitialized,
   kAllocFailed,
@@ -26,7 +31,7 @@ enum class Status {
 };
 
 /// Human-readable name of a Status, e.g. "UCUDNN_STATUS_BAD_PARAM".
-constexpr std::string_view to_string(Status s) noexcept {
+[[nodiscard]] constexpr std::string_view to_string(Status s) noexcept {
   switch (s) {
     case Status::kSuccess: return "UCUDNN_STATUS_SUCCESS";
     case Status::kNotInitialized: return "UCUDNN_STATUS_NOT_INITIALIZED";
@@ -50,7 +55,7 @@ class Error : public std::runtime_error {
       : std::runtime_error(std::string(to_string(status)) + ": " + message),
         status_(status) {}
 
-  Status status() const noexcept { return status_; }
+  [[nodiscard]] Status status() const noexcept { return status_; }
 
  private:
   Status status_;

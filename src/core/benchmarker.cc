@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "analysis/workspace_audit.h"
 #include "common/status.h"
 #include "common/timer.h"
 
@@ -45,6 +46,10 @@ MicroBenchmark Benchmarker::run(ConvKernelType type,
     for (std::size_t w = 0; w < workers; ++w) {
       threads.emplace_back([&, w] {
         try {
+          // Workspace-audit violations during benchmarking are attributed to
+          // the benchmarker, not the WR/WD execution path.
+          const analysis::ScopedAuditContext audit_context(
+              "benchmark:dev" + std::to_string(w));
           for (std::size_t m = w; m < misses.size(); m += workers) {
             const std::size_t i = misses[m];
             auto perfs = mcudnn::find_algorithms(

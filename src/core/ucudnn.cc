@@ -4,6 +4,8 @@
 #include <sstream>
 #include <utility>
 
+#include "analysis/alias_check.h"
+#include "analysis/workspace_audit.h"
 #include "common/logging.h"
 #include "common/timer.h"
 
@@ -80,6 +82,7 @@ UcudnnHandle::UcudnnHandle(const device::Node& node, Options options)
                    make_cache(options_)) {}
 
 UcudnnHandle::~UcudnnHandle() {
+  if (analysis::workspace_audit_enabled()) analysis::log_audit_report();
   if (!options_.cache_path.empty()) {
     try {
       benchmarker_.cache()->save_file(options_.cache_path);
@@ -288,6 +291,28 @@ void UcudnnHandle::execute_configuration(ConvKernelType type,
                                          void* ws, std::size_t ws_bytes) {
   check(config.batch == problem.batch(), Status::kInternalError,
         "configuration does not cover the mini-batch");
+
+  const analysis::ScopedAuditContext audit_context(
+      options_.workspace_policy == WorkspacePolicy::kWD ? "WD" : "WR");
+  if (analysis::workspace_audit_enabled()) {
+    // BackwardFilter beta-accumulates dw across micro-batches, so workspace
+    // aliasing any operand (or the operands aliasing the accumulator)
+    // silently corrupts gradients. All live spans must be disjoint.
+    const std::size_t a_bytes = static_cast<std::size_t>(
+        type == ConvKernelType::kBackwardData ? problem.y.bytes()
+                                              : problem.x.bytes());
+    const std::size_t b_bytes = static_cast<std::size_t>(
+        type == ConvKernelType::kBackwardFilter ? problem.y.bytes()
+                                                : problem.w.bytes());
+    const std::size_t out_bytes = static_cast<std::size_t>(
+        type == ConvKernelType::kForward        ? problem.y.bytes()
+        : type == ConvKernelType::kBackwardData ? problem.x.bytes()
+                                                : problem.w.bytes());
+    analysis::check_disjoint({{ws, ws_bytes, "workspace"},
+                              {a, a_bytes, "operand a"},
+                              {b, b_bytes, "operand b"},
+                              {out, out_bytes, "output"}});
+  }
 
   const std::int64_t image_x = problem.x.c * problem.x.h * problem.x.w;
   const std::int64_t image_y = problem.y.c * problem.y.h * problem.y.w;

@@ -205,7 +205,7 @@ inline void convolution(UcudnnHandle& handle, ConvKernelType type,
 
 // --- cuDNN-shaped Status API for UcudnnHandle ------------------------------
 
-Status mcudnnGetConvolutionWorkspaceSize(UcudnnHandle& handle,
+[[nodiscard]] Status mcudnnGetConvolutionWorkspaceSize(UcudnnHandle& handle,
                                          ConvKernelType type,
                                          const TensorDesc& in,
                                          const FilterDesc& w,
@@ -213,21 +213,21 @@ Status mcudnnGetConvolutionWorkspaceSize(UcudnnHandle& handle,
                                          const TensorDesc& out, int algo,
                                          std::size_t* bytes);
 
-Status mcudnnGetConvolutionAlgorithm(UcudnnHandle& handle, ConvKernelType type,
+[[nodiscard]] Status mcudnnGetConvolutionAlgorithm(UcudnnHandle& handle, ConvKernelType type,
                                      const TensorDesc& in, const FilterDesc& w,
                                      const ConvGeometry& conv,
                                      const TensorDesc& out,
                                      mcudnn::AlgoPreference preference,
                                      std::size_t ws_limit, int* algo);
 
-Status mcudnnConvolutionForward(UcudnnHandle& handle, float alpha,
+[[nodiscard]] Status mcudnnConvolutionForward(UcudnnHandle& handle, float alpha,
                                 const TensorDesc& x_desc, const float* x,
                                 const FilterDesc& w_desc, const float* w,
                                 const ConvGeometry& conv, int algo,
                                 void* workspace, std::size_t workspace_bytes,
                                 float beta, const TensorDesc& y_desc, float* y);
 
-Status mcudnnConvolutionBackwardData(UcudnnHandle& handle, float alpha,
+[[nodiscard]] Status mcudnnConvolutionBackwardData(UcudnnHandle& handle, float alpha,
                                      const FilterDesc& w_desc, const float* w,
                                      const TensorDesc& dy_desc, const float* dy,
                                      const ConvGeometry& conv, int algo,
@@ -235,7 +235,7 @@ Status mcudnnConvolutionBackwardData(UcudnnHandle& handle, float alpha,
                                      std::size_t workspace_bytes, float beta,
                                      const TensorDesc& dx_desc, float* dx);
 
-Status mcudnnConvolutionBackwardFilter(UcudnnHandle& handle, float alpha,
+[[nodiscard]] Status mcudnnConvolutionBackwardFilter(UcudnnHandle& handle, float alpha,
                                        const TensorDesc& x_desc, const float* x,
                                        const TensorDesc& dy_desc,
                                        const float* dy, const ConvGeometry& conv,

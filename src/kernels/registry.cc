@@ -1,7 +1,9 @@
 #include "kernels/registry.h"
 
 #include <cmath>
+#include <deque>
 
+#include "analysis/workspace_audit.h"
 #include "common/status.h"
 #include "kernels/direct.h"
 #include "kernels/fft_conv.h"
@@ -11,6 +13,33 @@
 namespace ucudnn::kernels {
 
 namespace {
+
+// Registered test kernels, indexed by kernel type. A deque keeps elements
+// (and therefore the string_views algo_name hands out) stable across
+// registrations.
+std::deque<TestKernel>& test_kernels(ConvKernelType type) {
+  static std::deque<TestKernel> tables[3];
+  return tables[static_cast<int>(type)];
+}
+
+int builtin_algo_count(ConvKernelType type) noexcept {
+  switch (type) {
+    case ConvKernelType::kForward: return fwd_algo::kCount;
+    case ConvKernelType::kBackwardData: return bwd_data_algo::kCount;
+    case ConvKernelType::kBackwardFilter: return bwd_filter_algo::kCount;
+  }
+  return 0;
+}
+
+// Non-null when `algo` addresses a registered test kernel.
+const TestKernel* test_kernel_for(ConvKernelType type, int algo) noexcept {
+  const int base = builtin_algo_count(type);
+  auto& table = test_kernels(type);
+  if (algo < base || algo >= base + static_cast<int>(table.size())) {
+    return nullptr;
+  }
+  return &table[static_cast<std::size_t>(algo - base)];
+}
 
 void check_algo_range(ConvKernelType type, int algo) {
   check_param(algo >= 0 && algo < algo_count(type),
@@ -57,16 +86,30 @@ double operand_traffic(ConvKernelType type, const ConvProblem& p) {
 }  // namespace
 
 int algo_count(ConvKernelType type) noexcept {
-  switch (type) {
-    case ConvKernelType::kForward: return fwd_algo::kCount;
-    case ConvKernelType::kBackwardData: return bwd_data_algo::kCount;
-    case ConvKernelType::kBackwardFilter: return bwd_filter_algo::kCount;
+  return builtin_algo_count(type) + static_cast<int>(test_kernels(type).size());
+}
+
+int register_test_kernel(ConvKernelType type, TestKernel kernel) {
+  check_param(kernel.workspace != nullptr && kernel.run != nullptr,
+              "test kernel needs workspace and run functions");
+  auto& table = test_kernels(type);
+  table.push_back(std::move(kernel));
+  return builtin_algo_count(type) + static_cast<int>(table.size()) - 1;
+}
+
+void clear_test_kernels() noexcept {
+  for (ConvKernelType type :
+       {ConvKernelType::kForward, ConvKernelType::kBackwardData,
+        ConvKernelType::kBackwardFilter}) {
+    test_kernels(type).clear();
   }
-  return 0;
 }
 
 std::string_view algo_name(ConvKernelType type, int algo) {
   check_algo_range(type, algo);
+  if (const TestKernel* kernel = test_kernel_for(type, algo)) {
+    return kernel->name;
+  }
   switch (type) {
     case ConvKernelType::kForward: {
       static constexpr std::string_view kNames[] = {
@@ -93,6 +136,7 @@ std::string_view algo_name(ConvKernelType type, int algo) {
 bool algo_supported(ConvKernelType type, int algo,
                     const ConvProblem& p) noexcept {
   if (algo < 0 || algo >= algo_count(type)) return false;
+  if (test_kernel_for(type, algo) != nullptr) return true;
   // Grouped convolutions run only on the implicit/direct family (matching
   // cuDNN, where grouped support landed on the implicit algorithms first).
   if (p.is_grouped()) {
@@ -141,6 +185,9 @@ std::size_t algo_workspace(ConvKernelType type, int algo,
   check(algo_supported(type, algo, p), Status::kNotSupported,
         std::string(algo_name(type, algo)) + " unsupported for " +
             p.to_string());
+  if (const TestKernel* kernel = test_kernel_for(type, algo)) {
+    return kernel->workspace(p);
+  }
   switch (type) {
     case ConvKernelType::kForward:
       switch (algo) {
@@ -252,18 +299,17 @@ double algo_traffic_bytes(ConvKernelType type, int algo,
   return base + 2.0 * ws;
 }
 
-void execute(ConvKernelType type, int algo, const ConvProblem& p,
-             const float* a, const float* b, float* out, float alpha,
-             float beta, void* workspace, std::size_t workspace_bytes) {
-  check_algo_range(type, algo);
-  const std::size_t required = algo_workspace(type, algo, p);
-  check(workspace_bytes >= required, Status::kBadParam,
-        std::string(algo_name(type, algo)) + " needs " +
-            std::to_string(required) + " workspace bytes, got " +
-            std::to_string(workspace_bytes));
-  check(required == 0 || workspace != nullptr, Status::kBadParam,
-        "null workspace for workspace-requiring algorithm");
+namespace {
 
+// The raw algorithm dispatch; `workspace` is already validated (and, under
+// the workspace audit, red-zoned) by execute().
+void dispatch(ConvKernelType type, int algo, const ConvProblem& p,
+              const float* a, const float* b, float* out, float alpha,
+              float beta, void* workspace, std::size_t workspace_bytes) {
+  if (const TestKernel* kernel = test_kernel_for(type, algo)) {
+    kernel->run(p, a, b, out, alpha, beta, workspace, workspace_bytes);
+    return;
+  }
   switch (type) {
     case ConvKernelType::kForward:
       switch (algo) {
@@ -333,6 +379,38 @@ void execute(ConvKernelType type, int algo, const ConvProblem& p,
       break;
   }
   throw Error(Status::kInternalError, "unreachable algorithm dispatch");
+}
+
+}  // namespace
+
+void execute(ConvKernelType type, int algo, const ConvProblem& p,
+             const float* a, const float* b, float* out, float alpha,
+             float beta, void* workspace, std::size_t workspace_bytes) {
+  check_algo_range(type, algo);
+  const std::size_t required = algo_workspace(type, algo, p);
+  check(workspace_bytes >= required, Status::kBadParam,
+        std::string(algo_name(type, algo)) + " needs " +
+            std::to_string(required) + " workspace bytes, got " +
+            std::to_string(workspace_bytes));
+  check(required == 0 || workspace != nullptr, Status::kBadParam,
+        "null workspace for workspace-requiring algorithm");
+
+  if (analysis::workspace_audit_enabled()) {
+    // Run against a red-zoned buffer of EXACTLY the declared size, not the
+    // (possibly larger) caller buffer: a kernel that touches one byte more
+    // than it declared hits the trailing red-zone. Workspace is scratch by
+    // contract, so the substitution is invisible to the caller.
+    analysis::AuditedBuffer audited(
+        required, std::string(algo_name(type, algo)) + "(" +
+                      std::string(to_string(type)) + ") " + p.to_string());
+    dispatch(type, algo, p, a, b, out, alpha, beta, audited.data(), required);
+    audited.verify();
+    analysis::record_audit(std::string(to_string(type)) + ":" +
+                               std::string(algo_name(type, algo)),
+                           required, audited.touched_bytes());
+    return;
+  }
+  dispatch(type, algo, p, a, b, out, alpha, beta, workspace, workspace_bytes);
 }
 
 }  // namespace ucudnn::kernels

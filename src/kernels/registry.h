@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <string_view>
 
 #include "kernels/conv_problem.h"
@@ -73,8 +74,37 @@ double algo_traffic_bytes(ConvKernelType type, int algo, const ConvProblem& p);
 ///   BackwardData:   a = dy, b = w,  out = dx
 ///   BackwardFilter: a = x,  b = dy, out = dw
 /// Throws kNotSupported / kBadParam (e.g. workspace too small).
+///
+/// With UCUDNN_AUDIT_WORKSPACE=1 the kernel runs against a red-zoned
+/// AuditedBuffer of exactly its declared workspace size instead of the
+/// caller's buffer (workspace is scratch, so substitution is semantics-
+/// preserving); a write outside the declared span throws kInternalError
+/// naming the kernel and byte offset. See src/analysis/workspace_audit.h.
 void execute(ConvKernelType type, int algo, const ConvProblem& p,
              const float* a, const float* b, float* out, float alpha,
              float beta, void* workspace, std::size_t workspace_bytes);
+
+// --- test-kernel extension ------------------------------------------------
+// Extra algorithm slots appended after the cuDNN-mirrored ids, used by the
+// analysis tests to register deliberately misbehaving kernels (workspace
+// overrun / under-declaration) and assert the auditor catches them.
+
+/// A dynamically registered algorithm. `workspace` declares the requirement;
+/// `run` executes with the caller-provided span.
+struct TestKernel {
+  std::string name;
+  std::size_t (*workspace)(const ConvProblem& p) = nullptr;
+  void (*run)(const ConvProblem& p, const float* a, const float* b, float* out,
+              float alpha, float beta, void* ws, std::size_t ws_bytes) = nullptr;
+};
+
+/// Appends `kernel` to `type`'s algorithm list and returns its algorithm id
+/// (>= the built-in kCount). Registered kernels are always "supported" and
+/// participate in algo_count/find_algorithms. Not thread-safe; call from
+/// test setup only.
+int register_test_kernel(ConvKernelType type, TestKernel kernel);
+
+/// Removes all registered test kernels.
+void clear_test_kernels() noexcept;
 
 }  // namespace ucudnn::kernels

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/workspace_audit.h"
 #include "common/aligned_buffer.h"
 #include "common/status.h"
 #include "common/timer.h"
@@ -76,12 +77,13 @@ double measure_algo_ms(ConvKernelType type, const kernels::ConvProblem& p,
   fill_constant(out.data(), out_count, 0.0f);
   AlignedBuffer<char> ws(ws_bytes);
 
+  const analysis::ScopedAuditContext audit_context("find_algorithms");
   // One warmup, then the timed run.
   kernels::execute(type, algo, p, a.data(), b.data(), out.data(), 1.0f, 0.0f,
-                   ws.data(), ws_bytes);
+                   ws.data(), ws.bytes());
   Timer timer;
   kernels::execute(type, algo, p, a.data(), b.data(), out.data(), 1.0f, 0.0f,
-                   ws.data(), ws_bytes);
+                   ws.data(), ws.bytes());
   return timer.elapsed_ms();
 }
 

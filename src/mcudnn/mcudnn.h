@@ -129,7 +129,7 @@ void convolution(const Handle& handle, ConvKernelType type,
 // against; μ-cuDNN overloads the same entry points for its wrapper handle).
 // ---------------------------------------------------------------------------
 
-Status mcudnnGetConvolutionWorkspaceSize(const Handle& handle,
+[[nodiscard]] Status mcudnnGetConvolutionWorkspaceSize(const Handle& handle,
                                          ConvKernelType type,
                                          const TensorDesc& in,
                                          const FilterDesc& w,
@@ -137,28 +137,28 @@ Status mcudnnGetConvolutionWorkspaceSize(const Handle& handle,
                                          const TensorDesc& out, int algo,
                                          std::size_t* bytes);
 
-Status mcudnnGetConvolutionAlgorithm(const Handle& handle, ConvKernelType type,
+[[nodiscard]] Status mcudnnGetConvolutionAlgorithm(const Handle& handle, ConvKernelType type,
                                      const TensorDesc& in, const FilterDesc& w,
                                      const ConvGeometry& conv,
                                      const TensorDesc& out,
                                      AlgoPreference preference,
                                      std::size_t ws_limit, int* algo);
 
-Status mcudnnFindConvolutionAlgorithm(const Handle& handle, ConvKernelType type,
+[[nodiscard]] Status mcudnnFindConvolutionAlgorithm(const Handle& handle, ConvKernelType type,
                                       const TensorDesc& in, const FilterDesc& w,
                                       const ConvGeometry& conv,
                                       const TensorDesc& out,
                                       int requested_count, int* returned_count,
                                       AlgoPerf* results);
 
-Status mcudnnConvolutionForward(const Handle& handle, float alpha,
+[[nodiscard]] Status mcudnnConvolutionForward(const Handle& handle, float alpha,
                                 const TensorDesc& x_desc, const float* x,
                                 const FilterDesc& w_desc, const float* w,
                                 const ConvGeometry& conv, int algo,
                                 void* workspace, std::size_t workspace_bytes,
                                 float beta, const TensorDesc& y_desc, float* y);
 
-Status mcudnnConvolutionBackwardData(const Handle& handle, float alpha,
+[[nodiscard]] Status mcudnnConvolutionBackwardData(const Handle& handle, float alpha,
                                      const FilterDesc& w_desc, const float* w,
                                      const TensorDesc& dy_desc, const float* dy,
                                      const ConvGeometry& conv, int algo,
@@ -166,7 +166,7 @@ Status mcudnnConvolutionBackwardData(const Handle& handle, float alpha,
                                      std::size_t workspace_bytes, float beta,
                                      const TensorDesc& dx_desc, float* dx);
 
-Status mcudnnConvolutionBackwardFilter(const Handle& handle, float alpha,
+[[nodiscard]] Status mcudnnConvolutionBackwardFilter(const Handle& handle, float alpha,
                                        const TensorDesc& x_desc, const float* x,
                                        const TensorDesc& dy_desc,
                                        const float* dy, const ConvGeometry& conv,

@@ -1,0 +1,345 @@
+// Workspace-contract auditor tests: AuditedBuffer canary mechanics, the
+// aliasing checker, deliberately misbehaving kernels registered in
+// kernels::registry (overrun + under-declaration, both must be caught with a
+// diagnostic naming the kernel and byte offset), and a clean-run pass over
+// every registered algorithm confirming zero false positives.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "analysis/alias_check.h"
+#include "analysis/workspace_audit.h"
+#include "common/aligned_buffer.h"
+#include "common/status.h"
+#include "core/ucudnn.h"
+#include "kernels/conv_problem.h"
+#include "kernels/registry.h"
+#include "tensor/tensor.h"
+
+namespace ucudnn {
+namespace {
+
+using analysis::AuditedBuffer;
+using analysis::MemSpan;
+
+class WorkspaceAuditTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    analysis::set_workspace_audit_enabled(true);
+    analysis::reset_audit_stats();
+  }
+  void TearDown() override {
+    kernels::clear_test_kernels();
+    analysis::set_workspace_audit_enabled(false);
+  }
+};
+
+// --- AuditedBuffer canary mechanics ---------------------------------------
+
+TEST_F(WorkspaceAuditTest, CleanBufferVerifies) {
+  AuditedBuffer buffer(256, "clean");
+  auto* span = static_cast<unsigned char*>(buffer.data());
+  std::memset(span, 0x11, 256);
+  EXPECT_NO_THROW(buffer.verify());
+  EXPECT_EQ(buffer.touched_bytes(), 256u);
+}
+
+TEST_F(WorkspaceAuditTest, UntouchedBufferHasZeroHighWater) {
+  AuditedBuffer buffer(128, "untouched");
+  EXPECT_NO_THROW(buffer.verify());
+  EXPECT_EQ(buffer.touched_bytes(), 0u);
+}
+
+TEST_F(WorkspaceAuditTest, PartialTouchTracksHighWater) {
+  AuditedBuffer buffer(512, "partial");
+  auto* span = static_cast<unsigned char*>(buffer.data());
+  std::memset(span, 0x22, 40);
+  EXPECT_EQ(buffer.touched_bytes(), 40u);
+  EXPECT_NO_THROW(buffer.verify());
+}
+
+TEST_F(WorkspaceAuditTest, OverrunIsDetectedWithOffset) {
+  AuditedBuffer buffer(100, "overrunner");
+  auto* span = static_cast<unsigned char*>(buffer.data());
+  span[100] = 0x00;  // first byte past the declared span
+  try {
+    buffer.verify();
+    FAIL() << "overrun not detected";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.status(), Status::kInternalError);
+    EXPECT_NE(std::string(e.what()).find("overrunner"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("offset 100"), std::string::npos);
+  }
+}
+
+TEST_F(WorkspaceAuditTest, UnderrunIsDetected) {
+  AuditedBuffer buffer(64, "underrunner");
+  auto* span = static_cast<unsigned char*>(buffer.data());
+  *(span - 1) = 0x00;
+  try {
+    buffer.verify();
+    FAIL() << "underrun not detected";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.status(), Status::kInternalError);
+    EXPECT_NE(std::string(e.what()).find("underrunner"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("offset -1"), std::string::npos);
+  }
+}
+
+TEST_F(WorkspaceAuditTest, ZeroByteDeclarationCatchesAnyWrite) {
+  AuditedBuffer buffer(0, "zero_decl");
+  EXPECT_NE(buffer.data(), nullptr);
+  static_cast<unsigned char*>(buffer.data())[0] = 0x00;
+  EXPECT_THROW(buffer.verify(), Error);
+}
+
+TEST_F(WorkspaceAuditTest, AuditStatsAccumulate) {
+  analysis::record_audit("k1", 1000, 600);
+  analysis::record_audit("k1", 1000, 800);
+  analysis::record_audit("k2", 50, 50);
+  const auto report = analysis::audit_report();
+  ASSERT_EQ(report.size(), 2u);
+  EXPECT_EQ(report.at("k1").runs, 2u);
+  EXPECT_EQ(report.at("k1").max_touched, 800u);
+  EXPECT_EQ(report.at("k1").declared_bytes, 1000u);
+  EXPECT_EQ(report.at("k1").min_slack, 200u);
+  EXPECT_EQ(report.at("k2").max_touched, 50u);
+  EXPECT_EQ(report.at("k2").min_slack, 0u);
+}
+
+TEST_F(WorkspaceAuditTest, ContextStackJoins) {
+  EXPECT_EQ(analysis::current_audit_context(), "");
+  const analysis::ScopedAuditContext outer("outer");
+  EXPECT_EQ(analysis::current_audit_context(), "outer");
+  {
+    const analysis::ScopedAuditContext inner("inner");
+    EXPECT_EQ(analysis::current_audit_context(), "outer/inner");
+  }
+  EXPECT_EQ(analysis::current_audit_context(), "outer");
+}
+
+// --- aliasing checker ------------------------------------------------------
+
+TEST_F(WorkspaceAuditTest, DisjointSpansPass) {
+  AlignedBuffer<float> a(64), b(64);
+  EXPECT_NO_THROW(analysis::check_disjoint(
+      {{a.data(), a.bytes(), "a"}, {b.data(), b.bytes(), "b"}}));
+}
+
+TEST_F(WorkspaceAuditTest, OverlappingSpansAreRejected) {
+  AlignedBuffer<float> a(64);
+  const MemSpan whole{a.data(), a.bytes(), "workspace"};
+  const MemSpan inside{a.data() + 16, 16 * sizeof(float), "dw"};
+  EXPECT_TRUE(analysis::spans_overlap(whole, inside));
+  try {
+    analysis::check_disjoint({whole, inside});
+    FAIL() << "overlap not detected";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.status(), Status::kInternalError);
+    EXPECT_NE(std::string(e.what()).find("workspace"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("dw"), std::string::npos);
+  }
+}
+
+TEST_F(WorkspaceAuditTest, NullAndEmptySpansNeverOverlap) {
+  AlignedBuffer<float> a(16);
+  EXPECT_FALSE(analysis::spans_overlap({nullptr, 64, "null"},
+                                       {a.data(), a.bytes(), "a"}));
+  EXPECT_FALSE(analysis::spans_overlap({a.data(), 0, "empty"},
+                                       {a.data(), a.bytes(), "a"}));
+}
+
+// --- misbehaving kernels registered in kernels::registry -------------------
+
+constexpr std::size_t kHonestBytes = 256;
+
+// (a) Overrun: declares kHonestBytes but scribbles 8 bytes past the end.
+void overrun_kernel(const kernels::ConvProblem&, const float*, const float*,
+                    float*, float, float, void* ws, std::size_t ws_bytes) {
+  std::memset(ws, 0x5A, ws_bytes + 8);
+}
+
+// (b) Under-declaration: touches 16 bytes more than it declares. (Kept
+// within the red-zone width so the probe itself stays inside the audit
+// allocation — the same reach limit ASan red-zones have.)
+void underdeclaring_kernel(const kernels::ConvProblem&, const float*,
+                           const float*, float*, float, float, void* ws,
+                           std::size_t ws_bytes) {
+  std::memset(ws, 0x5A, ws_bytes + 16);
+}
+
+// Well-behaved control: touches exactly what it declares.
+void honest_kernel(const kernels::ConvProblem&, const float*, const float*,
+                   float*, float, float, void* ws, std::size_t ws_bytes) {
+  std::memset(ws, 0x5A, ws_bytes);
+}
+
+std::size_t honest_workspace(const kernels::ConvProblem&) {
+  return kHonestBytes;
+}
+
+kernels::ConvProblem tiny_problem() {
+  return kernels::ConvProblem({1, 1, 4, 4}, {1, 1, 3, 3},
+                              {.pad_h = 1, .pad_w = 1});
+}
+
+TEST_F(WorkspaceAuditTest, RegistryReportsTestKernels) {
+  const int base = kernels::algo_count(ConvKernelType::kForward);
+  const int algo = kernels::register_test_kernel(
+      ConvKernelType::kForward,
+      {"TEST_HONEST", honest_workspace, honest_kernel});
+  EXPECT_EQ(algo, base);
+  EXPECT_EQ(kernels::algo_count(ConvKernelType::kForward), base + 1);
+  EXPECT_EQ(kernels::algo_name(ConvKernelType::kForward, algo), "TEST_HONEST");
+  EXPECT_TRUE(
+      kernels::algo_supported(ConvKernelType::kForward, algo, tiny_problem()));
+  EXPECT_EQ(
+      kernels::algo_workspace(ConvKernelType::kForward, algo, tiny_problem()),
+      kHonestBytes);
+}
+
+TEST_F(WorkspaceAuditTest, AuditorCatchesWorkspaceOverrun) {
+  const int algo = kernels::register_test_kernel(
+      ConvKernelType::kForward,
+      {"TEST_OVERRUN", honest_workspace, overrun_kernel});
+  const kernels::ConvProblem p = tiny_problem();
+  AlignedBuffer<float> x(static_cast<std::size_t>(p.x.count()), true);
+  AlignedBuffer<float> w(static_cast<std::size_t>(p.w.count()), true);
+  AlignedBuffer<float> y(static_cast<std::size_t>(p.y.count()), true);
+  AlignedBuffer<char> ws(kHonestBytes);
+  try {
+    kernels::execute(ConvKernelType::kForward, algo, p, x.data(), w.data(),
+                     y.data(), 1.0f, 0.0f, ws.data(), ws.bytes());
+    FAIL() << "auditor missed the overrun";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.status(), Status::kInternalError);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("TEST_OVERRUN"), std::string::npos) << what;
+    EXPECT_NE(what.find("offset " + std::to_string(kHonestBytes)),
+              std::string::npos)
+        << what;
+  }
+}
+
+TEST_F(WorkspaceAuditTest, AuditorCatchesUnderDeclaration) {
+  const int algo = kernels::register_test_kernel(
+      ConvKernelType::kBackwardFilter,
+      {"TEST_UNDERDECLARED", honest_workspace, underdeclaring_kernel});
+  const kernels::ConvProblem p = tiny_problem();
+  AlignedBuffer<float> x(static_cast<std::size_t>(p.x.count()), true);
+  AlignedBuffer<float> dy(static_cast<std::size_t>(p.y.count()), true);
+  AlignedBuffer<float> dw(static_cast<std::size_t>(p.w.count()), true);
+  // The caller provides MORE than declared — the audit must still bound the
+  // kernel to its declaration, or under-declarations hide until someone
+  // hands it a tight arena slot (the WD segmenting case).
+  AlignedBuffer<char> ws(4 * kHonestBytes);
+  try {
+    kernels::execute(ConvKernelType::kBackwardFilter, algo, p, x.data(),
+                     dy.data(), dw.data(), 1.0f, 0.0f, ws.data(), ws.bytes());
+    FAIL() << "auditor missed the under-declaration";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.status(), Status::kInternalError);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("TEST_UNDERDECLARED"), std::string::npos) << what;
+    EXPECT_NE(what.find("under-declared"), std::string::npos) << what;
+  }
+}
+
+TEST_F(WorkspaceAuditTest, HonestTestKernelRunsCleanAndIsRecorded) {
+  const int algo = kernels::register_test_kernel(
+      ConvKernelType::kForward,
+      {"TEST_HONEST", honest_workspace, honest_kernel});
+  const kernels::ConvProblem p = tiny_problem();
+  AlignedBuffer<float> x(static_cast<std::size_t>(p.x.count()), true);
+  AlignedBuffer<float> w(static_cast<std::size_t>(p.w.count()), true);
+  AlignedBuffer<float> y(static_cast<std::size_t>(p.y.count()), true);
+  AlignedBuffer<char> ws(kHonestBytes);
+  EXPECT_NO_THROW(kernels::execute(ConvKernelType::kForward, algo, p, x.data(),
+                                   w.data(), y.data(), 1.0f, 0.0f, ws.data(),
+                                   ws.bytes()));
+  const auto report = analysis::audit_report();
+  const auto it = report.find("Forward:TEST_HONEST");
+  ASSERT_NE(it, report.end());
+  EXPECT_EQ(it->second.declared_bytes, kHonestBytes);
+  EXPECT_EQ(it->second.max_touched, kHonestBytes);
+  EXPECT_EQ(it->second.runs, 1u);
+}
+
+// --- clean run over every registered algorithm -----------------------------
+
+TEST_F(WorkspaceAuditTest, AllBuiltinAlgorithmsRunCleanUnderAudit) {
+  // Shapes chosen to exercise every support predicate (FFT, tiling,
+  // Winograd need unit stride/dilation and bounded windows).
+  const kernels::ConvProblem problems[] = {
+      {{4, 3, 8, 8}, {4, 3, 3, 3}, {.pad_h = 1, .pad_w = 1}},
+      {{2, 3, 11, 11},
+       {4, 3, 3, 3},
+       {.pad_h = 1, .pad_w = 1, .stride_h = 2, .stride_w = 2}},
+  };
+  for (const kernels::ConvProblem& p : problems) {
+    for (const ConvKernelType type :
+         {ConvKernelType::kForward, ConvKernelType::kBackwardData,
+          ConvKernelType::kBackwardFilter}) {
+      const std::int64_t a_count =
+          type == ConvKernelType::kBackwardData ? p.y.count() : p.x.count();
+      const std::int64_t b_count =
+          type == ConvKernelType::kBackwardFilter ? p.y.count() : p.w.count();
+      const std::int64_t out_count = type == ConvKernelType::kForward
+                                         ? p.y.count()
+                                     : type == ConvKernelType::kBackwardData
+                                         ? p.x.count()
+                                         : p.w.count();
+      AlignedBuffer<float> a(static_cast<std::size_t>(a_count));
+      AlignedBuffer<float> b(static_cast<std::size_t>(b_count));
+      AlignedBuffer<float> out(static_cast<std::size_t>(out_count));
+      fill_random(a.data(), a_count, 7);
+      fill_random(b.data(), b_count, 13);
+      fill_constant(out.data(), out_count, 0.0f);
+      for (int algo = 0; algo < kernels::algo_count(type); ++algo) {
+        if (!kernels::algo_supported(type, algo, p)) continue;
+        const std::size_t ws_bytes = kernels::algo_workspace(type, algo, p);
+        AlignedBuffer<char> ws(ws_bytes);
+        EXPECT_NO_THROW(kernels::execute(type, algo, p, a.data(), b.data(),
+                                         out.data(), 1.0f, 0.0f, ws.data(),
+                                         ws.bytes()))
+            << kernels::algo_name(type, algo) << " " << to_string(type) << " "
+            << p.to_string();
+      }
+    }
+  }
+  // Every audited kernel stayed within its declaration.
+  for (const auto& [kernel, stats] : analysis::audit_report()) {
+    EXPECT_LE(stats.max_touched, stats.declared_bytes) << kernel;
+    EXPECT_GE(stats.runs, 1u) << kernel;
+  }
+}
+
+// --- end-to-end: the WR execution path under audit -------------------------
+
+TEST_F(WorkspaceAuditTest, WrExecutionPathRunsCleanUnderAudit) {
+  core::Options options;
+  options.workspace_limit = std::size_t{8} << 20;
+  core::UcudnnHandle handle(
+      std::make_shared<device::Device>(device::host_cpu_spec()), options);
+  const kernels::ConvProblem p({8, 3, 8, 8}, {4, 3, 3, 3},
+                               {.pad_h = 1, .pad_w = 1});
+  AlignedBuffer<float> x(static_cast<std::size_t>(p.x.count()));
+  AlignedBuffer<float> w(static_cast<std::size_t>(p.w.count()));
+  AlignedBuffer<float> y(static_cast<std::size_t>(p.y.count()), true);
+  fill_random(x.data(), p.x.count(), 3);
+  fill_random(w.data(), p.w.count(), 5);
+  EXPECT_NO_THROW(handle.convolution(ConvKernelType::kForward, p, 1.0f,
+                                     x.data(), w.data(), 0.0f, y.data()));
+  // BackwardFilter: the beta-accumulating micro-batch path + alias checks.
+  AlignedBuffer<float> dy(static_cast<std::size_t>(p.y.count()));
+  AlignedBuffer<float> dw(static_cast<std::size_t>(p.w.count()), true);
+  fill_random(dy.data(), p.y.count(), 11);
+  EXPECT_NO_THROW(handle.convolution(ConvKernelType::kBackwardFilter, p, 1.0f,
+                                     x.data(), dy.data(), 0.0f, dw.data()));
+  EXPECT_FALSE(analysis::audit_report().empty());
+}
+
+}  // namespace
+}  // namespace ucudnn

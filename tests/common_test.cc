@@ -130,6 +130,21 @@ TEST(AlignedBufferTest, EmptyBufferIsSafe) {
   AlignedBuffer<double> empty;
   EXPECT_TRUE(empty.empty());
   EXPECT_EQ(empty.data(), nullptr);
+  EXPECT_EQ(empty.bytes(), 0u);
+}
+
+TEST(AlignedBufferTest, BytesReportsContentSize) {
+  AlignedBuffer<float> floats(17);
+  EXPECT_EQ(floats.bytes(), 17 * sizeof(float));
+  AlignedBuffer<char> chars(100);
+  EXPECT_EQ(chars.bytes(), 100u);
+}
+
+TEST(AlignedBufferTest, ZeroingCoversOddCountsExactly) {
+  // 1001 floats: the memset fast path must zero the full content (and a
+  // partially-poisoned allocation must not leak through).
+  AlignedBuffer<std::uint8_t> probe(1001 * sizeof(float), true);
+  for (std::size_t i = 0; i < probe.size(); ++i) EXPECT_EQ(probe[i], 0u);
 }
 
 TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {

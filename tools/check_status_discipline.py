@@ -1,0 +1,232 @@
+#!/usr/bin/env python3
+"""Status-discipline lint: catches dropped-Status and swallowed-exception
+patterns that clang-tidy misses.
+
+The mcudnn C-style API reports failures as ucudnn::Status return values, and
+internal code reports them as ucudnn::Error exceptions translated at the API
+boundary (UCUDNN_API_BODY). Status is [[nodiscard]], so the compiler flags
+plain discards — but two classes of silent error-dropping survive compilation:
+
+  1. ignored-status:  (void)mcudnnConvolutionForward(...) and
+     expression-statement calls the compiler cannot see through macros.
+  2. swallowed-exception: a catch block that neither rethrows, logs,
+     converts to Status, records the exception, nor fails the test.
+
+Usage:  check_status_discipline.py [--self-test] [ROOT]
+
+Scans src/, tests/, examples/, bench/ under ROOT (default: repo root inferred
+from this script's location). Exits non-zero when findings exist.
+
+Suppression: append  // status-discipline: allow  on the offending line or
+the line above it.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+SCAN_DIRS = ("src", "tests", "examples", "bench")
+EXTENSIONS = {".cc", ".h"}
+SUPPRESS = "status-discipline: allow"
+
+# Functions whose Status result must not be dropped: the mcudnn C-style API.
+STATUS_CALL = re.compile(r"\bmcudnn[A-Z]\w*\s*\(")
+
+# Evidence inside a catch block that the exception was handled, not swallowed.
+HANDLED = re.compile(
+    r"throw|rethrow|current_exception|return|UCUDNN_LOG|Logger|FAIL\("
+    r"|ADD_FAILURE|GTEST_|abort\(|exit\(|\.status\(\)|errors\["
+)
+
+CATCH = re.compile(r"\bcatch\s*\(")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments and string/char literal contents, preserving layout
+    (so line/column arithmetic still works on the result)."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            chunk = text[i : j + 2]
+            out.append("".join(ch if ch == "\n" else " " for ch in chunk))
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    out.append("  "[: min(2, n - i)])
+                    i += 2
+                else:
+                    out.append("\n" if text[i] == "\n" else " ")
+                    i += 1
+            if i < n:
+                out.append(quote)
+                i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, pos: int) -> int:
+    return text.count("\n", 0, pos) + 1
+
+
+def suppressed(raw_lines: list[str], line: int) -> bool:
+    for candidate in (line - 1, line - 2):  # the line itself, the line above
+        if 0 <= candidate < len(raw_lines) and SUPPRESS in raw_lines[candidate]:
+            return True
+    return False
+
+
+def find_ignored_status(clean: str, raw_lines: list[str], path: Path) -> list[str]:
+    findings = []
+    for match in STATUS_CALL.finditer(clean):
+        start = match.start()
+        # Text between the previous statement/block boundary and the call.
+        boundary = max(clean.rfind(ch, 0, start) for ch in ";{}")
+        prefix = clean[boundary + 1 : start].strip()
+        line = line_of(clean, start)
+        if suppressed(raw_lines, line):
+            continue
+        name = match.group(0).rstrip("(").strip()
+        if prefix == "":
+            findings.append(
+                f"{path}:{line}: ignored-status: result of {name}() is "
+                f"discarded (expression statement)"
+            )
+        elif re.fullmatch(r"\(\s*void\s*\)", prefix):
+            findings.append(
+                f"{path}:{line}: ignored-status: result of {name}() is "
+                f"explicitly voided; handle or propagate the Status"
+            )
+    return findings
+
+
+def matching_brace(clean: str, open_pos: int) -> int:
+    depth = 0
+    for i in range(open_pos, len(clean)):
+        if clean[i] == "{":
+            depth += 1
+        elif clean[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(clean) - 1
+
+
+def find_swallowed_exceptions(clean: str, raw_lines: list[str], path: Path) -> list[str]:
+    findings = []
+    for match in CATCH.finditer(clean):
+        paren_close = clean.find(")", match.end())
+        brace_open = clean.find("{", paren_close)
+        if paren_close == -1 or brace_open == -1:
+            continue
+        brace_close = matching_brace(clean, brace_open)
+        body = clean[brace_open + 1 : brace_close]
+        line = line_of(clean, match.start())
+        if suppressed(raw_lines, line):
+            continue
+        if not HANDLED.search(body):
+            clause = clean[match.start() : paren_close + 1]
+            findings.append(
+                f"{path}:{line}: swallowed-exception: {' '.join(clause.split())}"
+                f" block neither rethrows, logs, returns, nor records the error"
+            )
+    return findings
+
+
+def scan_file(path: Path) -> list[str]:
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    clean = strip_comments_and_strings(raw)
+    raw_lines = raw.splitlines()
+    return find_ignored_status(clean, raw_lines, path) + find_swallowed_exceptions(
+        clean, raw_lines, path
+    )
+
+
+def scan_tree(root: Path) -> list[str]:
+    findings = []
+    for sub in SCAN_DIRS:
+        base = root / sub
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in EXTENSIONS and path.is_file():
+                findings.extend(scan_file(path))
+    return findings
+
+
+def self_test() -> int:
+    bad = """
+    void f() {
+      mcudnnConvolutionForward(h, a, x);
+      (void)mcudnnGetConvolutionAlgorithm(h, x);
+      try { g(); } catch (...) {}
+      try { g(); } catch (const std::exception& e) { count++; }
+    }
+    """
+    good = """
+    void f() {
+      Status s = mcudnnConvolutionForward(h, a, x);  // used
+      if (mcudnnGetConvolutionAlgorithm(h, x) != Status::kSuccess) fail();
+      return mcudnnConvolutionBackwardData(h);
+      try { g(); } catch (const Error& e) { return e.status(); }
+      try { g(); } catch (...) { UCUDNN_LOG_WARN << "boom"; }
+      try { g(); } catch (...) { throw; }
+      mcudnnConvolutionForward(h, a, x);  // status-discipline: allow
+    }
+    """
+    clean_bad = strip_comments_and_strings(bad)
+    clean_good = strip_comments_and_strings(good)
+    bad_findings = find_ignored_status(
+        clean_bad, bad.splitlines(), Path("bad.cc")
+    ) + find_swallowed_exceptions(clean_bad, bad.splitlines(), Path("bad.cc"))
+    good_findings = find_ignored_status(
+        clean_good, good.splitlines(), Path("good.cc")
+    ) + find_swallowed_exceptions(clean_good, good.splitlines(), Path("good.cc"))
+    ok = len(bad_findings) == 4 and not good_findings
+    if not ok:
+        print("self-test FAILED")
+        print(f"  expected 4 findings in bad sample, got {len(bad_findings)}:")
+        for f in bad_findings:
+            print(f"    {f}")
+        print(f"  expected 0 findings in good sample, got {len(good_findings)}:")
+        for f in good_findings:
+            print(f"    {f}")
+        return 1
+    print("self-test passed (4 positives caught, 0 false positives)")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    args = [a for a in argv[1:] if a != "--self-test"]
+    if "--self-test" in argv[1:]:
+        return self_test()
+    root = Path(args[0]) if args else Path(__file__).resolve().parent.parent
+    findings = scan_tree(root)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"\n{len(findings)} status-discipline violation(s)")
+        return 1
+    print("status discipline clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
