@@ -1,0 +1,207 @@
+#include "common/fault_injection.h"
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+#include "common/env.h"
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace ucudnn {
+namespace {
+
+std::string trim(const std::string& text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  return text.substr(begin, end - begin);
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::stringstream stream(text);
+  std::string part;
+  while (std::getline(stream, part, sep)) parts.push_back(trim(part));
+  return parts;
+}
+
+std::uint64_t parse_u64(const std::string& site, const std::string& key,
+                        const std::string& value) {
+  check(!value.empty() &&
+            value.find_first_not_of("0123456789") == std::string::npos,
+        Status::kInvalidValue,
+        "UCUDNN_FAULTS: " + site + ":" + key +
+            " expects a non-negative integer, got '" + value + "'");
+  return std::stoull(value);
+}
+
+double parse_probability(const std::string& site, const std::string& value) {
+  std::istringstream stream(value);
+  double p = 0.0;
+  stream >> p;
+  check(!stream.fail() && stream.eof() && p >= 0.0 && p <= 1.0,
+        Status::kInvalidValue,
+        "UCUDNN_FAULTS: " + site + ":p expects a probability in [0, 1], got '" +
+            value + "'");
+  return p;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector() {
+  const std::optional<std::string> env = env_raw("UCUDNN_FAULTS");
+  if (!env || trim(*env).empty()) return;
+  try {
+    configure(*env);
+  } catch (const Error& e) {
+    // Fail safe: a typo in UCUDNN_FAULTS must not abort the process from
+    // inside an allocation path; injection simply stays disarmed.
+    UCUDNN_LOG_ERROR << "ignoring malformed UCUDNN_FAULTS: " << e.what();
+  }
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::configure(const std::string& spec) {
+  std::array<FaultSpec, kFaultSiteCount> specs{};
+  for (const std::string& clause : split(spec, ';')) {
+    if (clause.empty()) continue;
+    const std::size_t colon = clause.find(':');
+    const std::string site = trim(clause.substr(0, colon));
+    std::vector<FaultSite> targets;
+    const bool is_cache_group = site == "cache";
+    if (site == "alloc") {
+      targets.push_back(FaultSite::kAlloc);
+    } else if (site == "kernel") {
+      targets.push_back(FaultSite::kKernel);
+    } else if (site == "cache-load") {
+      targets.push_back(FaultSite::kCacheLoad);
+    } else if (site == "cache-save") {
+      targets.push_back(FaultSite::kCacheSave);
+    } else {
+      check(is_cache_group, Status::kInvalidValue,
+            "UCUDNN_FAULTS: unknown site '" + site + "' in clause '" + clause +
+                "' (expected alloc, kernel, cache, cache-load, or cache-save)");
+    }
+
+    FaultSpec parsed;
+    parsed.enabled = true;
+    if (colon != std::string::npos) {
+      for (const std::string& param : split(clause.substr(colon + 1), ',')) {
+        if (param.empty()) continue;
+        const std::size_t eq = param.find('=');
+        if (eq == std::string::npos) {
+          // Bare flags select the cache sub-sites.
+          check(is_cache_group &&
+                    (param == "corrupt-load" || param == "fail-save"),
+                Status::kInvalidValue,
+                "UCUDNN_FAULTS: unknown flag '" + param + "' in clause '" +
+                    clause + "'");
+          targets.push_back(param == "corrupt-load" ? FaultSite::kCacheLoad
+                                                    : FaultSite::kCacheSave);
+          continue;
+        }
+        const std::string key = trim(param.substr(0, eq));
+        const std::string value = trim(param.substr(eq + 1));
+        if (key == "every") {
+          parsed.every = parse_u64(site, key, value);
+          check(parsed.every >= 1, Status::kInvalidValue,
+                "UCUDNN_FAULTS: " + site + ":every must be >= 1");
+        } else if (key == "p") {
+          parsed.probability = parse_probability(site, value);
+        } else if (key == "seed") {
+          parsed.seed = parse_u64(site, key, value);
+        } else if (key == "after") {
+          parsed.after = parse_u64(site, key, value);
+        } else if (key == "count") {
+          parsed.count = parse_u64(site, key, value);
+        } else {
+          throw Error(Status::kInvalidValue,
+                      "UCUDNN_FAULTS: unknown parameter '" + key +
+                          "' in clause '" + clause + "'");
+        }
+      }
+    }
+    check(!targets.empty(), Status::kInvalidValue,
+          "UCUDNN_FAULTS: site 'cache' needs a corrupt-load or fail-save "
+          "flag in clause '" +
+              clause + "'");
+    if (parsed.every == 0 && parsed.probability == 0.0) parsed.every = 1;
+    for (const FaultSite target : targets) {
+      specs[static_cast<std::size_t>(target)] = parsed;
+    }
+  }
+
+  bool any_enabled = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    specs_ = specs;
+    for (std::size_t i = 0; i < kFaultSiteCount; ++i) {
+      stats_[i] = FaultSiteStats{};
+      rngs_[i].seed(specs_[i].seed);
+      any_enabled = any_enabled || specs_[i].enabled;
+    }
+    armed_.store(any_enabled, std::memory_order_relaxed);
+  }
+  if (any_enabled) {
+    UCUDNN_LOG_INFO << "fault injection armed: " << trim(spec);
+  }
+}
+
+bool FaultInjector::should_fail(FaultSite site) {
+  if (!armed()) return false;
+  const auto i = static_cast<std::size_t>(site);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const FaultSpec& spec = specs_[i];
+  if (!spec.enabled) return false;
+  FaultSiteStats& stats = stats_[i];
+  ++stats.checks;
+  if (stats.triggered >= spec.count) return false;
+  if (stats.checks <= spec.after) return false;
+  bool fire = spec.every > 0 && (stats.checks - spec.after) % spec.every == 0;
+  if (!fire && spec.probability > 0.0) {
+    fire = std::uniform_real_distribution<double>(0.0, 1.0)(rngs_[i]) <
+           spec.probability;
+  }
+  if (fire) ++stats.triggered;
+  return fire;
+}
+
+void FaultInjector::fail_point(FaultSite site) {
+  if (!armed() || !should_fail(site)) return;
+  switch (site) {
+    case FaultSite::kAlloc:
+      throw Error(Status::kAllocFailed, "injected fault at site alloc");
+    case FaultSite::kKernel:
+      throw Error(Status::kExecutionFailed, "injected fault at site kernel");
+    case FaultSite::kCacheLoad:
+      throw Error(Status::kInternalError, "injected fault at site cache-load");
+    case FaultSite::kCacheSave:
+      throw Error(Status::kInternalError, "injected fault at site cache-save");
+  }
+}
+
+FaultSpec FaultInjector::spec(FaultSite site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return specs_[static_cast<std::size_t>(site)];
+}
+
+FaultSiteStats FaultInjector::stats(FaultSite site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_[static_cast<std::size_t>(site)];
+}
+
+void FaultInjector::reset_counters() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < kFaultSiteCount; ++i) {
+    stats_[i] = FaultSiteStats{};
+    rngs_[i].seed(specs_[i].seed);
+  }
+}
+
+}  // namespace ucudnn

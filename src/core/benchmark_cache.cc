@@ -1,8 +1,12 @@
 #include "core/benchmark_cache.h"
 
+#include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
+#include "common/fault_injection.h"
+#include "common/logging.h"
 #include "common/status.h"
 
 namespace ucudnn::core {
@@ -17,13 +21,28 @@ std::string BenchmarkCache::make_key(const std::string& device,
   return os.str();
 }
 
+std::string BenchmarkCache::blacklist_key(const std::string& device,
+                                          ConvKernelType type, int algo) {
+  std::ostringstream os;
+  os << device << "|" << to_string(type) << "|" << algo;
+  return os.str();
+}
+
 std::optional<std::vector<mcudnn::AlgoPerf>> BenchmarkCache::lookup(
     const std::string& device, ConvKernelType type,
     const kernels::ConvProblem& problem, std::int64_t micro_batch) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = entries_.find(make_key(device, type, problem, micro_batch));
   if (it == entries_.end()) return std::nullopt;
-  return it->second;
+  if (blacklist_.empty()) return it->second;
+  std::vector<mcudnn::AlgoPerf> filtered;
+  filtered.reserve(it->second.size());
+  std::copy_if(it->second.begin(), it->second.end(),
+               std::back_inserter(filtered), [&](const mcudnn::AlgoPerf& p) {
+                 return blacklist_.count(blacklist_key(device, type, p.algo)) ==
+                        0;
+               });
+  return filtered;
 }
 
 void BenchmarkCache::store(const std::string& device, ConvKernelType type,
@@ -42,6 +61,24 @@ std::size_t BenchmarkCache::size() const {
 void BenchmarkCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
+  blacklist_.clear();
+}
+
+void BenchmarkCache::blacklist(const std::string& device, ConvKernelType type,
+                               int algo) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  blacklist_.insert(blacklist_key(device, type, algo));
+}
+
+bool BenchmarkCache::is_blacklisted(const std::string& device,
+                                    ConvKernelType type, int algo) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return blacklist_.count(blacklist_key(device, type, algo)) != 0;
+}
+
+std::size_t BenchmarkCache::blacklisted_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return blacklist_.size();
 }
 
 std::string BenchmarkCache::encode_perfs(
@@ -77,29 +114,84 @@ std::vector<mcudnn::AlgoPerf> BenchmarkCache::decode_perfs(
   return perfs;
 }
 
-void BenchmarkCache::load_file(const std::string& path) {
+CacheLoadResult BenchmarkCache::load_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) return;  // missing cache files are fine
-  std::string line;
-  std::lock_guard<std::mutex> lock(mutex_);
-  while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#') continue;
-    const auto tab = line.find('\t');
-    check(tab != std::string::npos, Status::kInternalError,
-          "malformed benchmark cache line: " + line);
-    entries_[line.substr(0, tab)] = decode_perfs(line.substr(tab + 1));
+  if (!in) return CacheLoadResult::kMissing;  // missing cache files are fine
+
+  // Parse into a staging map first: either the whole file is good and gets
+  // merged, or none of it does.
+  std::map<std::string, std::vector<mcudnn::AlgoPerf>> parsed;
+  std::string why;
+  bool corrupt = FaultInjector::instance().armed() &&
+                 FaultInjector::instance().should_fail(FaultSite::kCacheLoad);
+  if (corrupt) {
+    why = "injected fault at site cache-load";
+  } else {
+    try {
+      std::string line;
+      while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        const auto tab = line.find('\t');
+        check(tab != std::string::npos, Status::kInternalError,
+              "malformed benchmark cache line: " + line);
+        parsed[line.substr(0, tab)] = decode_perfs(line.substr(tab + 1));
+      }
+      // status-discipline: allow (recorded in `why`; quarantined + logged below)
+    } catch (const Error& e) {
+      corrupt = true;
+      why = e.what();
+    }
   }
+  in.close();
+
+  if (corrupt) {
+    // Quarantine instead of throwing: a stale or damaged database must never
+    // abort a run. The rename keeps the evidence for inspection.
+    const std::string quarantine_path = path + ".corrupt";
+    std::error_code ec;
+    std::filesystem::rename(path, quarantine_path, ec);
+    UCUDNN_LOG_WARN << "benchmark cache " << path << " is corrupt (" << why
+                    << "); quarantined to " << quarantine_path
+                    << (ec ? " (rename failed: " + ec.message() + ")" : "");
+    return CacheLoadResult::kQuarantined;
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [key, perfs] : parsed) entries_[key] = std::move(perfs);
+  return CacheLoadResult::kLoaded;
 }
 
 void BenchmarkCache::save_file(const std::string& path) const {
-  std::ofstream out(path, std::ios::trunc);
-  check(static_cast<bool>(out), Status::kInternalError,
-        "cannot open benchmark cache file for writing: " + path);
-  out << "# ucudnn benchmark cache v1\n";
-  std::lock_guard<std::mutex> lock(mutex_);
-  for (const auto& [key, perfs] : entries_) {
-    out << key << "\t" << encode_perfs(perfs) << "\n";
+  // Write-then-rename: readers either see the old complete database or the
+  // new complete one, never a torn write.
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::trunc);
+    check(static_cast<bool>(out), Status::kInternalError,
+          "cannot open benchmark cache file for writing: " + tmp_path);
+    out << "# ucudnn benchmark cache v1\n";
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (const auto& [key, perfs] : entries_) {
+        out << key << "\t" << encode_perfs(perfs) << "\n";
+      }
+    }
+    out.flush();
+    check(!out.fail(), Status::kInternalError,
+          "failed writing benchmark cache: " + tmp_path);
   }
+  try {
+    // Simulated crash between write and publish; the target must survive.
+    FaultInjector::instance().fail_point(FaultSite::kCacheSave);
+  } catch (const Error&) {
+    std::error_code ec;
+    std::filesystem::remove(tmp_path, ec);
+    throw;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, path, ec);
+  check(!ec, Status::kInternalError,
+        "cannot publish benchmark cache " + path + ": " + ec.message());
 }
 
 }  // namespace ucudnn::core

@@ -7,6 +7,7 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -15,8 +16,16 @@
 
 namespace ucudnn::core {
 
+enum class CacheLoadResult {
+  kMissing,      // no file at the path; nothing loaded
+  kLoaded,       // entries merged successfully
+  kQuarantined,  // file was corrupt; renamed to <path>.corrupt, nothing loaded
+};
+
 class BenchmarkCache {
  public:
+  /// Entries are returned with blacklisted algorithms filtered out, so a
+  /// blacklist decision immediately affects every later plan.
   std::optional<std::vector<mcudnn::AlgoPerf>> lookup(
       const std::string& device, ConvKernelType type,
       const kernels::ConvProblem& problem, std::int64_t micro_batch) const;
@@ -28,12 +37,26 @@ class BenchmarkCache {
   std::size_t size() const;
   void clear();
 
-  /// Merges entries from a database file; silently ignores a missing file,
-  /// throws Error(kInternalError) on a malformed one.
-  void load_file(const std::string& path);
+  /// Marks an algorithm as persistently failing on a device; lookups filter
+  /// it from their results until the process exits. Blacklisting is kept in
+  /// memory only — the on-disk database stays untouched so one bad run does
+  /// not poison the shared cluster cache (§III-D).
+  void blacklist(const std::string& device, ConvKernelType type, int algo);
+  bool is_blacklisted(const std::string& device, ConvKernelType type,
+                      int algo) const;
+  std::size_t blacklisted_count() const;
 
-  /// Writes the full cache to a database file (atomic enough for the
-  /// single-writer offline-benchmark workflow).
+  /// Merges entries from a database file. A missing file is fine
+  /// (kMissing); a malformed file is quarantined — renamed to
+  /// `<path>.corrupt` and logged — instead of throwing, so stale or
+  /// damaged caches can never abort a run (kQuarantined). The cache is
+  /// left unchanged unless the whole file parses (kLoaded).
+  [[nodiscard]] CacheLoadResult load_file(const std::string& path);
+
+  /// Writes the full cache to a database file atomically: the data goes to
+  /// `<path>.tmp` in the same directory first and is renamed over `path`
+  /// only once fully flushed, so a crash mid-save cannot corrupt a shared
+  /// offline-benchmark database (§III-D NFS use case).
   void save_file(const std::string& path) const;
 
   /// Serialization helpers (exposed for tests).
@@ -44,9 +67,12 @@ class BenchmarkCache {
   static std::string make_key(const std::string& device, ConvKernelType type,
                               const kernels::ConvProblem& problem,
                               std::int64_t micro_batch);
+  static std::string blacklist_key(const std::string& device,
+                                   ConvKernelType type, int algo);
 
   mutable std::mutex mutex_;
   std::map<std::string, std::vector<mcudnn::AlgoPerf>> entries_;
+  std::set<std::string> blacklist_;
 };
 
 }  // namespace ucudnn::core

@@ -42,6 +42,7 @@ MicroBenchmark Benchmarker::run(ConvKernelType type,
     const std::size_t workers = std::min(handles_.size(), misses.size());
     std::vector<std::thread> threads;
     std::vector<std::exception_ptr> errors(workers);
+    std::vector<char> done(misses.size(), 0);
     threads.reserve(workers);
     for (std::size_t w = 0; w < workers; ++w) {
       threads.emplace_back([&, w] {
@@ -54,13 +55,17 @@ MicroBenchmark Benchmarker::run(ConvKernelType type,
             const std::size_t i = misses[m];
             auto perfs = mcudnn::find_algorithms(
                 handles_[w], type, problem.with_batch(result.sizes[i]));
-            // Keep only successful entries; they arrive time-sorted.
+            // Keep only successful, non-blacklisted entries; they arrive
+            // time-sorted.
             perfs.erase(std::remove_if(perfs.begin(), perfs.end(),
-                                       [](const mcudnn::AlgoPerf& p) {
-                                         return p.status != Status::kSuccess;
+                                       [&](const mcudnn::AlgoPerf& p) {
+                                         return p.status != Status::kSuccess ||
+                                                cache_->is_blacklisted(
+                                                    device_name, type, p.algo);
                                        }),
                         perfs.end());
             result.perfs[i] = std::move(perfs);
+            done[m] = 1;
           }
         } catch (...) {
           errors[w] = std::current_exception();
@@ -68,12 +73,17 @@ MicroBenchmark Benchmarker::run(ConvKernelType type,
       });
     }
     for (auto& t : threads) t.join();
-    for (const auto& error : errors) {
-      if (error) std::rethrow_exception(error);
-    }
-    for (const std::size_t i : misses) {
+    // Store whatever the workers finished before surfacing any error, so a
+    // single failing device does not discard the benchmarking the others
+    // already paid for — the retried call resolves those as cache hits.
+    for (std::size_t m = 0; m < misses.size(); ++m) {
+      if (!done[m]) continue;
+      const std::size_t i = misses[m];
       cache_->store(device_name, type, problem, result.sizes[i],
                     result.perfs[i]);
+    }
+    for (const auto& error : errors) {
+      if (error) std::rethrow_exception(error);
     }
   }
 

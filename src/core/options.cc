@@ -29,6 +29,13 @@ Options Options::from_env() {
       static_cast<int>(env_int("UCUDNN_BENCHMARK_DEVICES", 1));
   check(opts.benchmark_devices >= 1, Status::kInvalidValue,
         "UCUDNN_BENCHMARK_DEVICES must be >= 1");
+  opts.max_retries = static_cast<int>(env_int("UCUDNN_MAX_RETRIES", 3));
+  check(opts.max_retries >= 0, Status::kInvalidValue,
+        "UCUDNN_MAX_RETRIES must be >= 0");
+  opts.fail_fast = env_bool("UCUDNN_FAIL_FAST", false);
+  opts.ilp_max_nodes = env_int("UCUDNN_ILP_MAX_NODES", 1'000'000);
+  check(opts.ilp_max_nodes >= 0, Status::kInvalidValue,
+        "UCUDNN_ILP_MAX_NODES must be >= 0");
   return opts;
 }
 

@@ -11,6 +11,14 @@
 //   UCUDNN_WD_SOLVER             dp | ilp                       (dp)
 //   UCUDNN_CACHE_PATH            benchmark-cache database file  (unset = off)
 //   UCUDNN_BENCHMARK_DEVICES     parallel benchmarking fan-out  (1)
+//   UCUDNN_MAX_RETRIES           transient-kernel-failure retries before the
+//                                algorithm is blacklisted       (3)
+//   UCUDNN_FAIL_FAST             1 = disable graceful degradation; resource
+//                                failures throw immediately     (0)
+//   UCUDNN_ILP_MAX_NODES         branch-and-bound node budget before the WD
+//                                ILP solver falls back to MCKP-DP (1000000)
+//   UCUDNN_FAULTS                fault-injection schedule (testing only; see
+//                                docs/robustness.md)            (unset = off)
 #pragma once
 
 #include <cstdint>
@@ -42,6 +50,15 @@ struct Options {
   std::string cache_path;
   /// Number of devices used for parallel micro-benchmark evaluation.
   int benchmark_devices = 1;
+  /// Retries for a transient kExecutionFailed from a kernel before the
+  /// algorithm is blacklisted and the remaining mini-batch re-planned.
+  int max_retries = 3;
+  /// Disables the graceful-degradation chain: allocation failures, infeasible
+  /// WD plans, and kernel failures throw immediately instead of degrading.
+  bool fail_fast = false;
+  /// Node budget for WdSolver::kBranchBoundIlp. When exhausted without an
+  /// incumbent the planner falls back to the exact MCKP-DP solver.
+  std::int64_t ilp_max_nodes = 1'000'000;
 
   /// Reads every field from the environment.
   static Options from_env();

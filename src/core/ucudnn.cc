@@ -30,13 +30,39 @@ std::vector<mcudnn::Handle> make_bench_handles(const device::Node& node,
   return handles;
 }
 
-std::shared_ptr<BenchmarkCache> make_cache(const Options& options) {
-  auto cache = std::make_shared<BenchmarkCache>();
-  if (!options.cache_path.empty()) cache->load_file(options.cache_path);
-  return cache;
+// Member-initializer-list validation: `node.device(0)` on an empty node
+// would die with a bare std::out_of_range before any constructor body runs.
+const std::shared_ptr<device::Device>& primary_device(
+    const device::Node& node) {
+  check(node.device_count() > 0, Status::kBadParam,
+        "UcudnnHandle requires a node with at least one device");
+  return node.device(0);
+}
+
+Options validated(Options options) {
+  check(options.benchmark_devices >= 1, Status::kBadParam,
+        "Options::benchmark_devices must be >= 1 (got " +
+            std::to_string(options.benchmark_devices) + ")");
+  check(options.max_retries >= 0, Status::kBadParam,
+        "Options::max_retries must be >= 0 (got " +
+            std::to_string(options.max_retries) + ")");
+  check(options.ilp_max_nodes >= 0, Status::kBadParam,
+        "Options::ilp_max_nodes must be >= 0 (got " +
+            std::to_string(options.ilp_max_nodes) + ")");
+  return options;
 }
 
 }  // namespace
+
+std::string DegradationStats::to_string() const {
+  std::ostringstream os;
+  os << "retries=" << retries
+     << " degraded_allocations=" << degraded_allocations
+     << " blacklisted_algorithms=" << blacklisted_algorithms
+     << " solver_fallbacks=" << solver_fallbacks
+     << " cache_quarantines=" << cache_quarantines;
+  return os.str();
+}
 
 DeviceBuffer::DeviceBuffer(std::shared_ptr<device::Device> dev,
                            std::size_t bytes, const std::string& tag)
@@ -72,17 +98,34 @@ UcudnnHandle::UcudnnHandle(std::shared_ptr<device::Device> dev)
 
 UcudnnHandle::UcudnnHandle(std::shared_ptr<device::Device> dev, Options options)
     : handle_(dev),
-      options_(std::move(options)),
-      benchmarker_(make_bench_handles(dev), make_cache(options_)) {}
+      options_(validated(std::move(options))),
+      benchmarker_(make_bench_handles(dev),
+                   std::make_shared<BenchmarkCache>()) {
+  init_cache_from_file();
+}
 
 UcudnnHandle::UcudnnHandle(const device::Node& node, Options options)
-    : handle_(node.device(0)),
-      options_(std::move(options)),
+    : handle_(primary_device(node)),
+      options_(validated(std::move(options))),
       benchmarker_(make_bench_handles(node, options_.benchmark_devices),
-                   make_cache(options_)) {}
+                   std::make_shared<BenchmarkCache>()) {
+  init_cache_from_file();
+}
+
+void UcudnnHandle::init_cache_from_file() {
+  if (options_.cache_path.empty()) return;
+  // Loading happens here (not in a free helper) so a quarantined file is
+  // visible in the handle's degradation stats.
+  const CacheLoadResult result =
+      benchmarker_.cache()->load_file(options_.cache_path);
+  if (result == CacheLoadResult::kQuarantined) ++stats_.cache_quarantines;
+}
 
 UcudnnHandle::~UcudnnHandle() {
   if (analysis::workspace_audit_enabled()) analysis::log_audit_report();
+  if (stats_.any()) {
+    UCUDNN_LOG_WARN << "degradation stats: " << stats_.to_string();
+  }
   if (!options_.cache_path.empty()) {
     try {
       benchmarker_.cache()->save_file(options_.cache_path);
@@ -200,14 +243,35 @@ UcudnnHandle::WrEntry& UcudnnHandle::wr_entry(
     }
   }
   DeviceBuffer ws;
-  if (options_.share_wr_workspace) {
-    // Sequential execution: one shared buffer, grown to the largest need.
-    if (config.workspace > shared_ws_.size()) {
-      shared_ws_ = DeviceBuffer(handle_.device_ptr(), config.workspace,
-                                "shared:ws");
+  for (;;) {
+    try {
+      if (options_.share_wr_workspace) {
+        // Sequential execution: one shared buffer, grown to the largest need.
+        if (config.workspace > shared_ws_.size()) {
+          shared_ws_ = DeviceBuffer(handle_.device_ptr(), config.workspace,
+                                    "shared:ws");
+        }
+      } else {
+        ws = DeviceBuffer(handle_.device_ptr(), config.workspace, tag);
+      }
+      break;
+    } catch (const Error& e) {
+      if (e.status() != Status::kAllocFailed || options_.fail_fast ||
+          config.workspace == 0) {
+        throw;
+      }
+      // Graceful degradation (§I: a resource shortfall must not abort the
+      // run): re-optimize under a geometrically halved limit. Terminates
+      // because the front always contains the zero-workspace configuration.
+      const std::size_t degraded_limit = config.workspace / 2;
+      ++stats_.degraded_allocations;
+      UCUDNN_LOG_WARN << "workspace allocation of " << config.workspace
+                      << " bytes failed for " << tag << " (" << e.what()
+                      << "); re-optimizing with limit " << degraded_limit;
+      Timer degrade_timer;
+      config = optimize_wr(bench, problem.batch(), degraded_limit);
+      total_optimize_ms_ += degrade_timer.elapsed_ms();
     }
-  } else {
-    ws = DeviceBuffer(handle_.device_ptr(), config.workspace, tag);
   }
   auto [inserted, ok] =
       wr_entries_.emplace(key, WrEntry{std::move(config), std::move(ws)});
@@ -216,20 +280,53 @@ UcudnnHandle::WrEntry& UcudnnHandle::wr_entry(
 }
 
 void UcudnnHandle::finalize_wd() {
-  if (wd_finalized()) return;
+  if (wd_finalized() || wd_degraded_to_wr_) return;
   check(options_.workspace_policy == WorkspacePolicy::kWD,
         Status::kBadParam, "finalize_wd requires UCUDNN_WORKSPACE_POLICY=wd");
   Timer timer;
-  WdPlan plan =
-      optimize_wd(benchmarker_, requests_, options_.total_workspace_size,
-                  options_.batch_size_policy, options_.wd_solver);
+  WdPlan plan;
+  std::size_t limit = options_.total_workspace_size;
+  for (;;) {
+    try {
+      plan = optimize_wd(benchmarker_, requests_, limit,
+                         options_.batch_size_policy, options_.wd_solver,
+                         options_.ilp_max_nodes);
+    } catch (const Error& e) {
+      total_optimize_ms_ += timer.elapsed_ms();
+      if (e.status() != Status::kNotSupported || options_.fail_fast) throw;
+      // No feasible division at all: degrade to per-kernel WR, which plans
+      // each kernel independently (and can itself degrade further).
+      ++stats_.solver_fallbacks;
+      wd_degraded_to_wr_ = true;
+      UCUDNN_LOG_WARN << "WD plan infeasible (" << e.what()
+                      << "); degrading to per-kernel WR";
+      return;
+    }
+    try {
+      wd_arena_ = DeviceBuffer(handle_.device_ptr(), plan.total_workspace,
+                               "wd_arena");
+      break;
+    } catch (const Error& e) {
+      if (e.status() != Status::kAllocFailed || options_.fail_fast ||
+          plan.total_workspace == 0) {
+        throw;
+      }
+      // The optimizer's limit was infeasible on the actual device: halve
+      // what the plan really used and re-solve, down to the zero-workspace
+      // division.
+      ++stats_.degraded_allocations;
+      limit = plan.total_workspace / 2;
+      UCUDNN_LOG_WARN << "WD arena allocation of " << plan.total_workspace
+                      << " bytes failed (" << e.what()
+                      << "); re-optimizing with total limit " << limit;
+    }
+  }
+  if (plan.solver_fell_back) ++stats_.solver_fallbacks;
   total_optimize_ms_ += timer.elapsed_ms();
   UCUDNN_LOG_INFO << "WD finalized: " << requests_.size() << " kernels, "
                   << plan.num_variables << " ILP variables, arena "
                   << plan.total_workspace << " bytes, solve "
                   << plan.solve_ms << " ms";
-  wd_arena_ = DeviceBuffer(handle_.device_ptr(), plan.total_workspace,
-                           "wd_arena");
   wd_plan_ = std::move(plan);
 }
 
@@ -246,7 +343,8 @@ const WdAssignment* UcudnnHandle::wd_assignment(
 
 const Configuration* UcudnnHandle::configuration_for(
     ConvKernelType type, const kernels::ConvProblem& problem) {
-  if (options_.workspace_policy == WorkspacePolicy::kWD) {
+  if (options_.workspace_policy == WorkspacePolicy::kWD &&
+      !wd_degraded_to_wr_) {
     const WdAssignment* assignment = wd_assignment(type, problem);
     return assignment ? &assignment->config : nullptr;
   }
@@ -255,11 +353,44 @@ const Configuration* UcudnnHandle::configuration_for(
   return it != wr_entries_.end() ? &it->second.config : nullptr;
 }
 
+void UcudnnHandle::apply_pending_invalidations() {
+  if (pending_invalidations_.empty()) return;
+  for (const auto& [type, algo] : pending_invalidations_) {
+    const std::string prefix = std::string(to_string(type)) + "|";
+    for (auto it = wr_entries_.begin(); it != wr_entries_.end();) {
+      const bool uses =
+          it->first.compare(0, prefix.size(), prefix) == 0 &&
+          std::any_of(it->second.config.micro.begin(),
+                      it->second.config.micro.end(),
+                      [&](const MicroConfig& m) { return m.algo == algo; });
+      it = uses ? wr_entries_.erase(it) : std::next(it);
+    }
+    if (wd_plan_) {
+      for (std::size_t i = 0; i < requests_.size(); ++i) {
+        const auto& micro = wd_plan_->assignments[i].config.micro;
+        if (requests_[i].type == type &&
+            std::any_of(micro.begin(), micro.end(),
+                        [&](const MicroConfig& m) { return m.algo == algo; })) {
+          // The whole arena layout depends on every assignment; re-plan from
+          // scratch at the next finalize (the blacklist filter makes the new
+          // plan avoid the algorithm).
+          wd_plan_.reset();
+          wd_arena_ = DeviceBuffer();
+          break;
+        }
+      }
+    }
+  }
+  pending_invalidations_.clear();
+}
+
 void UcudnnHandle::convolution(ConvKernelType type,
                                const kernels::ConvProblem& problem, float alpha,
                                const float* a, const float* b, float beta,
                                float* out) {
-  if (options_.workspace_policy == WorkspacePolicy::kWD) {
+  apply_pending_invalidations();
+  if (options_.workspace_policy == WorkspacePolicy::kWD &&
+      !wd_degraded_to_wr_) {
     if (!wd_finalized()) finalize_wd();
     if (const WdAssignment* assignment = wd_assignment(type, problem)) {
       char* arena = static_cast<char*>(wd_arena_.data());
@@ -270,8 +401,10 @@ void UcudnnHandle::convolution(ConvKernelType type,
                             assignment->config.workspace);
       return;
     }
-    UCUDNN_LOG_WARN << "WD: unrecorded kernel " << problem.to_string()
-                    << ", falling back to WR";
+    if (wd_finalized()) {
+      UCUDNN_LOG_WARN << "WD: unrecorded kernel " << problem.to_string()
+                      << ", falling back to WR";
+    }
   }
   WrEntry& entry = wr_entry(type, problem);
   if (options_.share_wr_workspace) {
@@ -336,9 +469,18 @@ void UcudnnHandle::execute_configuration(ConvKernelType type,
   const std::int64_t b_stride =
       type == ConvKernelType::kBackwardFilter ? image_y : 0;
 
+  // The division is mutable: when an algorithm keeps failing past the retry
+  // budget, the not-yet-executed tail is re-planned in place. A failed
+  // mcudnn::convolution throws before touching any operand byte, so retrying
+  // (or switching algorithms for the remaining micro-batches) cannot change
+  // the values already produced.
+  std::vector<MicroConfig> micros = config.micro;
   std::int64_t offset = 0;
   bool first = true;
-  for (const MicroConfig& micro : config.micro) {
+  int replans = 0;
+  std::size_t idx = 0;
+  while (idx < micros.size()) {
+    const MicroConfig micro = micros[idx];
     const kernels::ConvProblem sub = problem.with_batch(micro.batch);
     const float* a_ptr = a == nullptr ? nullptr : a + offset * a_stride;
     const float* b_ptr = b == nullptr ? nullptr : b + offset * b_stride;
@@ -346,11 +488,75 @@ void UcudnnHandle::execute_configuration(ConvKernelType type,
     // BackwardFilter accumulates across micro-batches (output scale trick).
     const float micro_beta =
         type == ConvKernelType::kBackwardFilter && !first ? 1.0f : beta;
-    mcudnn::convolution(handle_, type, sub, alpha, a_ptr, b_ptr, micro_beta,
-                        out_ptr, micro.algo, ws, ws_bytes);
+    int failures = 0;
+    bool replanned = false;
+    for (;;) {
+      try {
+        mcudnn::convolution(handle_, type, sub, alpha, a_ptr, b_ptr, micro_beta,
+                            out_ptr, micro.algo, ws, ws_bytes);
+        break;
+      } catch (const Error& e) {
+        if (e.status() != Status::kExecutionFailed || options_.fail_fast) {
+          throw;
+        }
+        ++failures;
+        if (failures <= options_.max_retries) {
+          ++stats_.retries;
+          UCUDNN_LOG_WARN << "transient kernel failure ("
+                          << kernels::algo_name(type, micro.algo) << " on "
+                          << sub.to_string() << "): " << e.what() << "; retry "
+                          << failures << "/" << options_.max_retries;
+          continue;
+        }
+        replan_remaining(type, problem, micro.algo, offset, ws_bytes, micros,
+                         idx, replans);
+        replanned = true;
+        break;
+      }
+    }
+    if (replanned) continue;  // micros[idx] was replaced; run the new plan
     offset += micro.batch;
     first = false;
+    ++idx;
   }
+}
+
+void UcudnnHandle::replan_remaining(ConvKernelType type,
+                                    const kernels::ConvProblem& problem,
+                                    int algo, std::int64_t done,
+                                    std::size_t ws_bytes,
+                                    std::vector<MicroConfig>& micros,
+                                    std::size_t idx, int& replans) {
+  const std::string& device_name = handle_.device().spec().name;
+  benchmarker_.cache()->blacklist(device_name, type, algo);
+  ++stats_.blacklisted_algorithms;
+  // Cached WR/WD plans referencing the algorithm are stale now, but their
+  // workspace is live in the current call chain — invalidate them at the
+  // next convolution() entry instead of here.
+  pending_invalidations_.emplace_back(type, algo);
+  // Each re-plan retires one algorithm, so the algorithm count bounds the
+  // recursion; past that the failure is systemic, not algorithmic.
+  ++replans;
+  check(replans <= kernels::algo_count(type), Status::kExecutionFailed,
+        "kernel keeps failing after blacklisting " +
+            std::to_string(replans - 1) + " algorithms for " +
+            problem.to_string());
+  UCUDNN_LOG_WARN << "blacklisting " << kernels::algo_name(type, algo)
+                  << " on " << device_name << " after repeated failures; "
+                  << "re-planning the remaining "
+                  << (problem.batch() - done) << " samples";
+  // Re-plan only the unexecuted tail: outputs already written (and, for
+  // BackwardFilter, partial accumulations) stay untouched. The existing
+  // workspace bounds the new plan, so no reallocation is needed.
+  const kernels::ConvProblem rest = problem.with_batch(problem.batch() - done);
+  const MicroBenchmark bench =
+      benchmarker_.run(type, rest, options_.batch_size_policy);
+  Timer timer;
+  const Configuration replacement = optimize_wr(bench, rest.batch(), ws_bytes);
+  total_optimize_ms_ += timer.elapsed_ms();
+  micros.resize(idx);
+  micros.insert(micros.end(), replacement.micro.begin(),
+                replacement.micro.end());
 }
 
 // --- cuDNN-shaped Status API ------------------------------------------------

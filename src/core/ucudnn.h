@@ -60,6 +60,24 @@ class DeviceBuffer {
   std::size_t bytes_ = 0;
 };
 
+/// Counters for every graceful-degradation event the handle performed
+/// (ROADMAP robustness north-star: a recoverable resource condition must
+/// never abort a training run). Logged at teardown next to the audit report.
+struct DegradationStats {
+  std::uint64_t retries = 0;                 // transient kernel failures retried
+  std::uint64_t degraded_allocations = 0;    // workspace limits halved on OOM
+  std::uint64_t blacklisted_algorithms = 0;  // algos retired after retries
+  std::uint64_t solver_fallbacks = 0;        // ILP->DP and WD->WR fallbacks
+  std::uint64_t cache_quarantines = 0;       // corrupt cache files quarantined
+
+  bool any() const noexcept {
+    return retries != 0 || degraded_allocations != 0 ||
+           blacklisted_algorithms != 0 || solver_fallbacks != 0 ||
+           cache_quarantines != 0;
+  }
+  std::string to_string() const;
+};
+
 /// UcudnnHandle_t equivalent.
 class UcudnnHandle {
  public:
@@ -145,6 +163,9 @@ class UcudnnHandle {
     return benchmarker_.cache();
   }
 
+  /// Degradation events accumulated over the handle's lifetime.
+  const DegradationStats& degradation_stats() const noexcept { return stats_; }
+
  private:
   struct WrEntry {
     Configuration config;
@@ -165,6 +186,19 @@ class UcudnnHandle {
                              float* out, void* ws, std::size_t ws_bytes);
   std::string label_for(ConvKernelType type,
                         const kernels::ConvProblem& problem) const;
+  void init_cache_from_file();
+  /// Blacklists `algo`, re-plans the not-yet-executed tail of the mini-batch
+  /// within the workspace already held, and splices the replacement division
+  /// into `micros` at `idx`.
+  void replan_remaining(ConvKernelType type,
+                        const kernels::ConvProblem& problem, int algo,
+                        std::int64_t done, std::size_t ws_bytes,
+                        std::vector<MicroConfig>& micros, std::size_t idx,
+                        int& replans);
+  /// Drops cached plans that reference blacklisted algorithms. Deferred to
+  /// the next convolution() entry because the invalidating event happens
+  /// mid-execution, while the plan's workspace pointer is still in use.
+  void apply_pending_invalidations();
 
   mcudnn::Handle handle_;
   Options options_;
@@ -177,6 +211,9 @@ class UcudnnHandle {
   DeviceBuffer wd_arena_;
   std::string next_label_;
   double total_optimize_ms_ = 0.0;
+  DegradationStats stats_;
+  bool wd_degraded_to_wr_ = false;  // infeasible WD plan -> per-kernel WR
+  std::vector<std::pair<ConvKernelType, int>> pending_invalidations_;
 };
 
 // --- free-function overloads mirroring the mcudnn problem-level API -------

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/logging.h"
 #include "common/mathutil.h"
 #include "common/status.h"
 #include "common/timer.h"
@@ -13,7 +14,7 @@ namespace ucudnn::core {
 WdPlan optimize_wd(Benchmarker& benchmarker,
                    const std::vector<KernelRequest>& requests,
                    std::size_t total_limit, BatchSizePolicy policy,
-                   WdSolver solver) {
+                   WdSolver solver, std::int64_t ilp_max_nodes) {
   WdPlan plan;
   if (requests.empty()) return plan;
 
@@ -56,26 +57,39 @@ WdPlan optimize_wd(Benchmarker& benchmarker,
 
   Timer timer;
   std::vector<int> selection;
-  if (solver == WdSolver::kMckpDp) {
+  bool use_dp = solver == WdSolver::kMckpDp;
+  if (!use_dp) {
+    ilp::IlpOptions ilp_options;
+    ilp_options.max_nodes = ilp_max_nodes;
+    const ilp::IlpResult result =
+        ilp::solve_binary_ilp(ilp::mckp_to_ilp(mckp), ilp_options);
+    if (result.feasible) {
+      // Decode flattened 0-1 variables back to per-group choices.
+      selection.assign(mckp.groups.size(), -1);
+      std::size_t offset = 0;
+      for (std::size_t g = 0; g < mckp.groups.size(); ++g) {
+        for (std::size_t i = 0; i < mckp.groups[g].size(); ++i) {
+          if (result.x[offset + i] == 1) selection[g] = static_cast<int>(i);
+        }
+        offset += mckp.groups[g].size();
+      }
+    } else {
+      // Node budget exhausted without an incumbent (or genuinely
+      // infeasible): the exact DP finds the same optimum in pseudo-
+      // polynomial time, so degrade to it rather than failing the plan.
+      UCUDNN_LOG_WARN << "WD ILP found no solution within " << ilp_max_nodes
+                      << " nodes (" << result.nodes_explored
+                      << " explored); falling back to MCKP-DP";
+      plan.solver_fell_back = true;
+      use_dp = true;
+    }
+  }
+  if (use_dp) {
     const ilp::MckpResult result = ilp::solve_mckp(mckp);
     check(result.feasible, Status::kNotSupported,
           "WD ILP infeasible for total workspace limit " +
               std::to_string(total_limit));
     selection = result.selection;
-  } else {
-    const ilp::IlpResult result = ilp::solve_binary_ilp(ilp::mckp_to_ilp(mckp));
-    check(result.feasible, Status::kNotSupported,
-          "WD ILP infeasible for total workspace limit " +
-              std::to_string(total_limit));
-    // Decode flattened 0-1 variables back to per-group choices.
-    selection.assign(mckp.groups.size(), -1);
-    std::size_t offset = 0;
-    for (std::size_t g = 0; g < mckp.groups.size(); ++g) {
-      for (std::size_t i = 0; i < mckp.groups[g].size(); ++i) {
-        if (result.x[offset + i] == 1) selection[g] = static_cast<int>(i);
-      }
-      offset += mckp.groups[g].size();
-    }
   }
   plan.solve_ms = timer.elapsed_ms();
 

@@ -31,15 +31,19 @@ struct WdPlan {
   std::size_t num_variables = 0;          // ILP size after Pareto pruning
   std::size_t num_variables_unpruned = 0; // |A|-per-division upper bound proxy
   double solve_ms = 0.0;                  // ILP/DP solve wall time
+  bool solver_fell_back = false;          // ILP budget exhausted -> MCKP-DP
 };
 
 /// Runs the full WD pipeline: benchmark -> desirable sets -> ILP -> segment
 /// assignment. Throws Error(kNotSupported) if no feasible division exists
 /// (cannot happen when zero-workspace algorithms are available).
+/// The branch-and-bound ILP solver explores at most `ilp_max_nodes` nodes;
+/// on exhaustion (or an infeasible ILP result) it falls back to the exact
+/// MCKP-DP solver and sets WdPlan::solver_fell_back.
 WdPlan optimize_wd(Benchmarker& benchmarker,
                    const std::vector<KernelRequest>& requests,
                    std::size_t total_limit, BatchSizePolicy policy,
-                   WdSolver solver);
+                   WdSolver solver, std::int64_t ilp_max_nodes = 1'000'000);
 
 /// Workspace segment alignment inside the WD arena.
 inline constexpr std::size_t kWdAlignment = 256;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "common/fault_injection.h"
 #include "common/status.h"
 #include "kernels/registry.h"
 
@@ -105,6 +106,8 @@ double Device::model_time_ms(ConvKernelType type, int algo,
 }
 
 void* Device::allocate(std::size_t bytes, const std::string& tag) {
+  // Before any state is touched, so an injected OOM leaves nothing to undo.
+  FaultInjector::instance().fail_point(FaultSite::kAlloc);
   std::lock_guard<std::mutex> lock(mutex_);
   check(in_use_ + bytes <= spec_.memory_bytes, Status::kAllocFailed,
         spec_.name + ": out of device memory allocating " +

@@ -4,6 +4,7 @@
 
 #include "analysis/workspace_audit.h"
 #include "common/aligned_buffer.h"
+#include "common/fault_injection.h"
 #include "common/status.h"
 #include "common/timer.h"
 
@@ -102,6 +103,14 @@ std::vector<AlgoPerf> find_algorithms(const Handle& handle, ConvKernelType type,
       continue;
     }
     perf.memory = kernels::algo_workspace(type, algo, p);
+    if (FaultInjector::instance().armed() &&
+        FaultInjector::instance().should_fail(FaultSite::kKernel)) {
+      // Benchmarking observes the failure instead of throwing, exactly like
+      // cudnnFind* reporting a per-algorithm status.
+      perf.status = Status::kExecutionFailed;
+      results.push_back(perf);
+      continue;
+    }
     perf.status = Status::kSuccess;
     if (handle.device().is_simulated()) {
       perf.time_ms = handle.device().model_time_ms(type, algo, p);
@@ -196,6 +205,9 @@ void convolution(const Handle& handle, ConvKernelType type,
   check(kernels::algo_supported(type, algo, p), Status::kNotSupported,
         std::string(kernels::algo_name(type, algo)) + " unsupported for " +
             p.to_string());
+  // Before any operand byte is touched: a failed launch never has partial
+  // effects, which is what makes the caller's retry bitwise-safe.
+  FaultInjector::instance().fail_point(FaultSite::kKernel);
   device::Device& dev = handle.device();
   if (handle.exec_mode() == ExecMode::kVirtual) {
     // No data touched; advance the virtual clock by the modeled time. The

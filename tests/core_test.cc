@@ -367,7 +367,7 @@ TEST(BenchmarkCacheTest, FileRoundTrip) {
   cache.save_file(path);
 
   BenchmarkCache loaded;
-  loaded.load_file(path);
+  EXPECT_EQ(loaded.load_file(path), CacheLoadResult::kLoaded);
   EXPECT_EQ(loaded.size(), 1u);
   const auto hit = loaded.lookup("P100-SXM2", ConvKernelType::kForward, p, 8);
   ASSERT_TRUE(hit.has_value());
@@ -391,17 +391,23 @@ TEST(BenchmarkCacheTest, KeysDistinguishEverything) {
   EXPECT_TRUE(cache.lookup("P100-SXM2", ConvKernelType::kForward, p, 8));
 }
 
-TEST(BenchmarkCacheTest, MissingFileIsIgnoredMalformedThrows) {
+TEST(BenchmarkCacheTest, MissingFileIgnoredMalformedQuarantined) {
   BenchmarkCache cache;
-  EXPECT_NO_THROW(cache.load_file("/nonexistent/ucudnn.db"));
+  EXPECT_EQ(cache.load_file("/nonexistent/ucudnn.db"),
+            CacheLoadResult::kMissing);
   const std::string path =
       (std::filesystem::temp_directory_path() / "ucudnn_bad.db").string();
   {
     std::ofstream out(path);
     out << "garbage-without-tab\n";
   }
-  EXPECT_THROW(cache.load_file(path), Error);
-  std::remove(path.c_str());
+  // A damaged database must never abort a run: it is renamed aside with a
+  // warning and the cache stays empty.
+  EXPECT_EQ(cache.load_file(path), CacheLoadResult::kQuarantined);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_TRUE(std::filesystem::exists(path + ".corrupt"));
+  std::remove((path + ".corrupt").c_str());
 }
 
 TEST(BenchmarkCacheTest, EncodeDecodeEmpty) {

@@ -218,13 +218,33 @@ TEST(MultiDeviceBenchmarkTest, NodeHandleMatchesSingleDeviceDecisions) {
   EXPECT_EQ(a->workspace, b->workspace);
 }
 
-TEST(FailureInjectionTest, DeviceOomSurfacesAsAllocFailed) {
+TEST(FailureInjectionTest, DeviceOomDegradesToSmallerWorkspace) {
   device::DeviceSpec tiny = device::p100_sxm2_spec();
   tiny.memory_bytes = 4 << 20;  // 4 MiB device
   auto dev = std::make_shared<device::Device>(tiny);
   core::UcudnnHandle handle(dev, wr(std::size_t{512} << 20,
                                     core::BatchSizePolicy::kPowerOfTwo));
-  // conv2-scale kernel wants far more workspace than the device has.
+  // conv2-scale kernel wants far more workspace than the device has; the
+  // handle halves the limit until a configuration fits instead of aborting.
+  const kernels::ConvProblem problem({64, 96, 27, 27}, {256, 96, 5, 5},
+                                     {.pad_h = 2, .pad_w = 2});
+  handle.convolution(ConvKernelType::kForward, problem, 1.0f, nullptr, nullptr,
+                     0.0f, nullptr);
+  EXPECT_GT(handle.degradation_stats().degraded_allocations, 0u);
+  const core::Configuration* config =
+      handle.configuration_for(ConvKernelType::kForward, problem);
+  ASSERT_NE(config, nullptr);
+  EXPECT_LE(config->workspace, std::size_t{4} << 20);
+}
+
+TEST(FailureInjectionTest, DeviceOomFailFastSurfacesAllocFailed) {
+  device::DeviceSpec tiny = device::p100_sxm2_spec();
+  tiny.memory_bytes = 4 << 20;
+  auto dev = std::make_shared<device::Device>(tiny);
+  core::Options opts =
+      wr(std::size_t{512} << 20, core::BatchSizePolicy::kPowerOfTwo);
+  opts.fail_fast = true;
+  core::UcudnnHandle handle(dev, opts);
   const kernels::ConvProblem problem({64, 96, 27, 27}, {256, 96, 5, 5},
                                      {.pad_h = 2, .pad_w = 2});
   try {
@@ -234,9 +254,10 @@ TEST(FailureInjectionTest, DeviceOomSurfacesAsAllocFailed) {
   } catch (const Error& e) {
     EXPECT_EQ(e.status(), Status::kAllocFailed);
   }
+  EXPECT_EQ(handle.degradation_stats().degraded_allocations, 0u);
 }
 
-TEST(FailureInjectionTest, WdArenaLargerThanDeviceFails) {
+TEST(FailureInjectionTest, WdArenaDegradesToDeviceCapacity) {
   device::DeviceSpec tiny = device::p100_sxm2_spec();
   tiny.memory_bytes = 8 << 20;
   auto dev = std::make_shared<device::Device>(tiny);
@@ -245,13 +266,32 @@ TEST(FailureInjectionTest, WdArenaLargerThanDeviceFails) {
   opts.total_workspace_size = std::size_t{64} << 20;  // > device memory
   core::UcudnnHandle handle(dev, opts);
   // conv2-scale kernel: its best configuration inside a 64 MiB arena needs
-  // well over the 8 MiB this device has.
+  // well over the 8 MiB this device has. The planner re-solves with halved
+  // arena limits until the allocation fits.
   const kernels::ConvProblem problem({64, 96, 27, 27}, {256, 96, 5, 5},
                                      {.pad_h = 2, .pad_w = 2});
   handle.get_algorithm(ConvKernelType::kForward, problem,
                        mcudnn::AlgoPreference::kPreferFastest, 0);
-  // The WD optimizer happily plans a big arena; allocation must fail loudly
-  // rather than corrupt anything.
+  handle.convolution(ConvKernelType::kForward, problem, 1.0f, nullptr, nullptr,
+                     0.0f, nullptr);
+  EXPECT_GT(handle.degradation_stats().degraded_allocations, 0u);
+  ASSERT_NE(handle.wd_plan(), nullptr);
+  EXPECT_LE(handle.wd_plan()->total_workspace, std::size_t{8} << 20);
+}
+
+TEST(FailureInjectionTest, WdArenaFailFastSurfacesAllocFailed) {
+  device::DeviceSpec tiny = device::p100_sxm2_spec();
+  tiny.memory_bytes = 8 << 20;
+  auto dev = std::make_shared<device::Device>(tiny);
+  core::Options opts;
+  opts.workspace_policy = core::WorkspacePolicy::kWD;
+  opts.total_workspace_size = std::size_t{64} << 20;
+  opts.fail_fast = true;
+  core::UcudnnHandle handle(dev, opts);
+  const kernels::ConvProblem problem({64, 96, 27, 27}, {256, 96, 5, 5},
+                                     {.pad_h = 2, .pad_w = 2});
+  handle.get_algorithm(ConvKernelType::kForward, problem,
+                       mcudnn::AlgoPreference::kPreferFastest, 0);
   EXPECT_THROW(handle.convolution(ConvKernelType::kForward, problem, 1.0f,
                                   nullptr, nullptr, 0.0f, nullptr),
                Error);

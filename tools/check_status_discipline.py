@@ -178,6 +178,7 @@ def self_test() -> int:
       (void)mcudnnGetConvolutionAlgorithm(h, x);
       try { g(); } catch (...) {}
       try { g(); } catch (const std::exception& e) { count++; }
+      for (;;) { try { g(); } catch (const Error& e) { ++failures; continue; } }
     }
     """
     good = """
@@ -188,6 +189,10 @@ def self_test() -> int:
       try { g(); } catch (const Error& e) { return e.status(); }
       try { g(); } catch (...) { UCUDNN_LOG_WARN << "boom"; }
       try { g(); } catch (...) { throw; }
+      try { g(); } catch (const Error& e) {
+        if (e.status() != Status::kExecutionFailed) throw;
+        ++retries;  // retry loop: selective rethrow is handling
+      }
       mcudnnConvolutionForward(h, a, x);  // status-discipline: allow
     }
     """
@@ -199,17 +204,17 @@ def self_test() -> int:
     good_findings = find_ignored_status(
         clean_good, good.splitlines(), Path("good.cc")
     ) + find_swallowed_exceptions(clean_good, good.splitlines(), Path("good.cc"))
-    ok = len(bad_findings) == 4 and not good_findings
+    ok = len(bad_findings) == 5 and not good_findings
     if not ok:
         print("self-test FAILED")
-        print(f"  expected 4 findings in bad sample, got {len(bad_findings)}:")
+        print(f"  expected 5 findings in bad sample, got {len(bad_findings)}:")
         for f in bad_findings:
             print(f"    {f}")
         print(f"  expected 0 findings in good sample, got {len(good_findings)}:")
         for f in good_findings:
             print(f"    {f}")
         return 1
-    print("self-test passed (4 positives caught, 0 false positives)")
+    print("self-test passed (5 positives caught, 0 false positives)")
     return 0
 
 
