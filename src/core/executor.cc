@@ -1,0 +1,104 @@
+#include "core/executor.h"
+
+#include <numeric>
+
+#include "analysis/alias_check.h"
+#include "analysis/workspace_audit.h"
+#include "common/logging.h"
+#include "kernels/registry.h"
+
+namespace ucudnn::core {
+
+Executor::Executor(mcudnn::Handle& handle, const Options& options,
+                   DegradationStats& stats)
+    : handle_(handle), options_(options), stats_(stats) {}
+
+void Executor::run(const ExecutionPlan& plan, float alpha, const float* a,
+                   const float* b, float beta, float* out, void* ws,
+                   std::size_t ws_bytes, const ReplanFn& replan) {
+  const ConvKernelType type = plan.type;
+  const kernels::ConvProblem& problem = plan.problem;
+  {
+    const std::int64_t covered = std::accumulate(
+        plan.segments.begin(), plan.segments.end(), std::int64_t{0},
+        [](std::int64_t sum, const PlanSegment& s) { return sum + s.batch; });
+    check(covered == problem.batch(), Status::kInternalError,
+          "plan does not cover the mini-batch");
+  }
+
+  const analysis::ScopedAuditContext audit_context(
+      plan.binding.kind == WorkspaceKind::kWdArena ? "WD" : "WR");
+
+  // The segment list is mutable: when an algorithm keeps failing past the
+  // retry budget, the not-yet-executed tail is spliced out for replacement
+  // segments from the ReplanFn.
+  std::vector<PlanSegment> segments = plan.segments;
+  std::int64_t done = 0;
+  int replans = 0;
+  std::size_t idx = 0;
+  while (idx < segments.size()) {
+    const PlanSegment segment = segments[idx];
+    const kernels::ConvProblem sub = problem.with_batch(segment.batch);
+    const float* a_ptr = a == nullptr ? nullptr : a + segment.a_offset;
+    const float* b_ptr = b == nullptr ? nullptr : b + segment.b_offset;
+    float* out_ptr = out == nullptr ? nullptr : out + segment.out_offset;
+    // BackwardFilter accumulates across micro-batches (output scale trick).
+    const float micro_beta = segment.accumulate ? 1.0f : beta;
+
+    if (analysis::workspace_audit_enabled()) {
+      // BackwardFilter beta-accumulates dw across micro-batches, so
+      // workspace aliasing any operand (or the operands aliasing the
+      // accumulator) silently corrupts gradients. Checked per segment with
+      // the micro-batch spans actually touched.
+      const std::size_t a_bytes = static_cast<std::size_t>(
+          type == ConvKernelType::kBackwardData ? sub.y.bytes()
+                                                : sub.x.bytes());
+      const std::size_t b_bytes = static_cast<std::size_t>(
+          type == ConvKernelType::kBackwardFilter ? sub.y.bytes()
+                                                  : sub.w.bytes());
+      const std::size_t out_bytes = static_cast<std::size_t>(
+          type == ConvKernelType::kForward        ? sub.y.bytes()
+          : type == ConvKernelType::kBackwardData ? sub.x.bytes()
+                                                  : sub.w.bytes());
+      analysis::check_disjoint({{ws, ws_bytes, "workspace"},
+                                {a_ptr, a_bytes, "operand a"},
+                                {b_ptr, b_bytes, "operand b"},
+                                {out_ptr, out_bytes, "output"}});
+    }
+
+    int failures = 0;
+    bool replanned = false;
+    for (;;) {
+      try {
+        mcudnn::convolution(handle_, type, sub, alpha, a_ptr, b_ptr,
+                            micro_beta, out_ptr, segment.algo, ws, ws_bytes);
+        break;
+      } catch (const Error& e) {
+        if (e.status() != Status::kExecutionFailed || options_.fail_fast) {
+          throw;
+        }
+        ++failures;
+        if (failures <= options_.max_retries) {
+          ++stats_.retries;
+          UCUDNN_LOG_WARN << "transient kernel failure ("
+                          << kernels::algo_name(type, segment.algo) << " on "
+                          << sub.to_string() << "): " << e.what()
+                          << "; retry " << failures << "/"
+                          << options_.max_retries;
+          continue;
+        }
+        ++replans;
+        std::vector<PlanSegment> tail = replan(segment.algo, done, replans);
+        segments.resize(idx);
+        segments.insert(segments.end(), tail.begin(), tail.end());
+        replanned = true;
+        break;
+      }
+    }
+    if (replanned) continue;  // segments[idx] was replaced; run the new tail
+    done += segment.batch;
+    ++idx;
+  }
+}
+
+}  // namespace ucudnn::core

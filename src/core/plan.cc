@@ -1,0 +1,96 @@
+#include "core/plan.h"
+
+#include <sstream>
+
+namespace ucudnn::core {
+
+OperandStrides operand_strides(ConvKernelType type,
+                               const kernels::ConvProblem& problem) noexcept {
+  const std::int64_t image_x = problem.x.c * problem.x.h * problem.x.w;
+  const std::int64_t image_y = problem.y.c * problem.y.h * problem.y.w;
+  switch (type) {
+    case ConvKernelType::kForward:
+      return {image_x, 0, image_y};
+    case ConvKernelType::kBackwardData:
+      return {image_y, 0, image_x};
+    case ConvKernelType::kBackwardFilter:
+      // x slices with operand a, dy slices with operand b; dw accumulates
+      // in place, so the output never moves.
+      return {image_x, image_y, 0};
+  }
+  return {};
+}
+
+namespace {
+
+std::vector<PlanSegment> lower_division(ConvKernelType type,
+                                        const kernels::ConvProblem& problem,
+                                        const std::vector<MicroConfig>& micros,
+                                        std::int64_t done) {
+  const OperandStrides strides = operand_strides(type, problem);
+  std::vector<PlanSegment> segments;
+  segments.reserve(micros.size());
+  std::int64_t cursor = done;
+  for (const MicroConfig& micro : micros) {
+    PlanSegment segment;
+    segment.batch = micro.batch;
+    segment.algo = micro.algo;
+    segment.a_offset = cursor * strides.a;
+    segment.b_offset = cursor * strides.b;
+    segment.out_offset = cursor * strides.out;
+    segment.accumulate =
+        type == ConvKernelType::kBackwardFilter && cursor != 0;
+    segment.time_ms = micro.time_ms;
+    segment.workspace = micro.workspace;
+    segments.push_back(segment);
+    cursor += micro.batch;
+  }
+  check(cursor == problem.batch(), Status::kInternalError,
+        "plan does not cover the mini-batch: " + std::to_string(cursor) +
+            " of " + std::to_string(problem.batch()) + " samples");
+  return segments;
+}
+
+}  // namespace
+
+ExecutionPlan build_plan(ConvKernelType type,
+                         const kernels::ConvProblem& problem,
+                         const Configuration& config,
+                         const WorkspaceBinding& binding) {
+  check(config.batch == problem.batch(), Status::kInternalError,
+        "configuration does not cover the mini-batch");
+  ExecutionPlan plan;
+  plan.type = type;
+  plan.problem = problem;
+  plan.segments = lower_division(type, problem, config.micro, 0);
+  plan.binding = binding;
+  plan.workspace = config.workspace;
+  plan.time_ms = config.time_ms;
+  return plan;
+}
+
+std::vector<PlanSegment> build_tail_segments(
+    ConvKernelType type, const kernels::ConvProblem& problem,
+    const Configuration& tail, std::int64_t done) {
+  check(tail.batch == problem.batch() - done, Status::kInternalError,
+        "tail re-plan does not cover the remaining batch");
+  return lower_division(type, problem, tail.micro, done);
+}
+
+std::string ExecutionPlan::to_string() const {
+  std::ostringstream os;
+  os << ucudnn::to_string(type) << " " << problem.to_string() << " [";
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const PlanSegment& s = segments[i];
+    if (i != 0) os << ", ";
+    os << s.batch << ":algo" << s.algo << "@" << s.out_offset;
+    if (s.accumulate) os << "(acc)";
+  }
+  os << "] ws=" << workspace << " " << core::to_string(binding.kind);
+  if (binding.kind == WorkspaceKind::kWdArena) {
+    os << "+" << binding.offset;
+  }
+  return os.str();
+}
+
+}  // namespace ucudnn::core

@@ -7,6 +7,17 @@
 
 namespace ucudnn::core {
 
+std::string DegradationStats::to_string() const {
+  std::ostringstream os;
+  os << "retries=" << retries
+     << " degraded_allocations=" << degraded_allocations
+     << " blacklisted_algorithms=" << blacklisted_algorithms
+     << " solver_fallbacks=" << solver_fallbacks
+     << " cache_quarantines=" << cache_quarantines
+     << " wd_unrecorded_fallbacks=" << wd_unrecorded_fallbacks;
+  return os.str();
+}
+
 std::string Configuration::to_string(ConvKernelType type) const {
   std::ostringstream os;
   os << "[";

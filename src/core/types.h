@@ -76,6 +76,27 @@ WorkspacePolicy parse_workspace_policy(const std::string& text);
 std::vector<std::int64_t> candidate_micro_sizes(BatchSizePolicy policy,
                                                 std::int64_t batch);
 
+/// Counters for every graceful-degradation event the planner/executor stack
+/// performed (ROADMAP robustness north-star: a recoverable resource condition
+/// must never abort a training run). Owned by the UcudnnHandle facade, shared
+/// by reference with the Planner and the Executor, and logged at teardown
+/// next to the audit report.
+struct DegradationStats {
+  std::uint64_t retries = 0;                 // transient kernel failures retried
+  std::uint64_t degraded_allocations = 0;    // workspace limits halved on OOM
+  std::uint64_t blacklisted_algorithms = 0;  // algos retired after retries
+  std::uint64_t solver_fallbacks = 0;        // ILP->DP and WD->WR fallbacks
+  std::uint64_t cache_quarantines = 0;       // corrupt cache files quarantined
+  std::uint64_t wd_unrecorded_fallbacks = 0; // WD misses routed to WR
+
+  bool any() const noexcept {
+    return retries != 0 || degraded_allocations != 0 ||
+           blacklisted_algorithms != 0 || solver_fallbacks != 0 ||
+           cache_quarantines != 0 || wd_unrecorded_fallbacks != 0;
+  }
+  std::string to_string() const;
+};
+
 /// One convolution kernel instance a framework asked about: the unit of WD
 /// optimization ("kernel" in §III-C).
 struct KernelRequest {

@@ -4,10 +4,8 @@
 #include <sstream>
 #include <utility>
 
-#include "analysis/alias_check.h"
 #include "analysis/workspace_audit.h"
 #include "common/logging.h"
-#include "common/timer.h"
 
 namespace ucudnn::core {
 
@@ -54,41 +52,6 @@ Options validated(Options options) {
 
 }  // namespace
 
-std::string DegradationStats::to_string() const {
-  std::ostringstream os;
-  os << "retries=" << retries
-     << " degraded_allocations=" << degraded_allocations
-     << " blacklisted_algorithms=" << blacklisted_algorithms
-     << " solver_fallbacks=" << solver_fallbacks
-     << " cache_quarantines=" << cache_quarantines;
-  return os.str();
-}
-
-DeviceBuffer::DeviceBuffer(std::shared_ptr<device::Device> dev,
-                           std::size_t bytes, const std::string& tag)
-    : dev_(std::move(dev)), bytes_(bytes) {
-  if (bytes_ > 0) ptr_ = dev_->allocate(bytes_, tag);
-}
-
-DeviceBuffer::~DeviceBuffer() {
-  if (dev_ && ptr_ != nullptr) dev_->deallocate(ptr_);
-}
-
-DeviceBuffer::DeviceBuffer(DeviceBuffer&& other) noexcept
-    : dev_(std::move(other.dev_)),
-      ptr_(std::exchange(other.ptr_, nullptr)),
-      bytes_(std::exchange(other.bytes_, 0)) {}
-
-DeviceBuffer& DeviceBuffer::operator=(DeviceBuffer&& other) noexcept {
-  if (this != &other) {
-    if (dev_ && ptr_ != nullptr) dev_->deallocate(ptr_);
-    dev_ = std::move(other.dev_);
-    ptr_ = std::exchange(other.ptr_, nullptr);
-    bytes_ = std::exchange(other.bytes_, 0);
-  }
-  return *this;
-}
-
 UcudnnHandle::UcudnnHandle()
     : UcudnnHandle(std::make_shared<device::Device>(device::host_cpu_spec()),
                    Options::from_env()) {}
@@ -99,16 +62,22 @@ UcudnnHandle::UcudnnHandle(std::shared_ptr<device::Device> dev)
 UcudnnHandle::UcudnnHandle(std::shared_ptr<device::Device> dev, Options options)
     : handle_(dev),
       options_(validated(std::move(options))),
-      benchmarker_(make_bench_handles(dev),
-                   std::make_shared<BenchmarkCache>()) {
+      planner_(handle_, options_,
+               Benchmarker(make_bench_handles(dev),
+                           std::make_shared<BenchmarkCache>()),
+               stats_),
+      executor_(handle_, options_, stats_) {
   init_cache_from_file();
 }
 
 UcudnnHandle::UcudnnHandle(const device::Node& node, Options options)
     : handle_(primary_device(node)),
       options_(validated(std::move(options))),
-      benchmarker_(make_bench_handles(node, options_.benchmark_devices),
-                   std::make_shared<BenchmarkCache>()) {
+      planner_(handle_, options_,
+               Benchmarker(make_bench_handles(node, options_.benchmark_devices),
+                           std::make_shared<BenchmarkCache>()),
+               stats_),
+      executor_(handle_, options_, stats_) {
   init_cache_from_file();
 }
 
@@ -117,7 +86,7 @@ void UcudnnHandle::init_cache_from_file() {
   // Loading happens here (not in a free helper) so a quarantined file is
   // visible in the handle's degradation stats.
   const CacheLoadResult result =
-      benchmarker_.cache()->load_file(options_.cache_path);
+      planner_.benchmarker().cache()->load_file(options_.cache_path);
   if (result == CacheLoadResult::kQuarantined) ++stats_.cache_quarantines;
 }
 
@@ -128,7 +97,7 @@ UcudnnHandle::~UcudnnHandle() {
   }
   if (!options_.cache_path.empty()) {
     try {
-      benchmarker_.cache()->save_file(options_.cache_path);
+      planner_.benchmarker().cache()->save_file(options_.cache_path);
     } catch (const std::exception& e) {
       UCUDNN_LOG_WARN << "failed to persist benchmark cache: " << e.what();
     }
@@ -150,6 +119,17 @@ std::string UcudnnHandle::label_for(ConvKernelType type,
   return os.str();
 }
 
+void UcudnnHandle::record_kernel(ConvKernelType type,
+                                 const kernels::ConvProblem& problem) {
+  const bool seen = std::any_of(
+      requests_.begin(), requests_.end(),
+      [&](const KernelRequest& r) { return r.matches(type, problem); });
+  if (!seen) {
+    requests_.push_back(KernelRequest{type, problem, label_for(type, problem)});
+  }
+  next_label_.clear();
+}
+
 std::size_t UcudnnHandle::workspace_size(ConvKernelType type,
                                          const kernels::ConvProblem& problem,
                                          int algo) {
@@ -157,23 +137,6 @@ std::size_t UcudnnHandle::workspace_size(ConvKernelType type,
   (void)problem;
   (void)algo;
   return 0;  // μ-cuDNN manages workspace internally.
-}
-
-std::string UcudnnHandle::wr_key(ConvKernelType type,
-                                 const kernels::ConvProblem& problem,
-                                 std::size_t limit) const {
-  std::ostringstream os;
-  os << to_string(type) << "|" << std::hex << problem.hash() << "|" << limit
-     << "|" << to_string(options_.batch_size_policy);
-  return os.str();
-}
-
-std::size_t UcudnnHandle::effective_limit(
-    ConvKernelType type, const kernels::ConvProblem& problem) const {
-  if (options_.workspace_limit) return *options_.workspace_limit;
-  const auto it = request_limits_.find(wr_key(type, problem, 0));
-  if (it != request_limits_.end()) return it->second;
-  return kDefaultPerKernelLimit;
 }
 
 int UcudnnHandle::get_algorithm(ConvKernelType type,
@@ -189,374 +152,39 @@ int UcudnnHandle::get_algorithm(ConvKernelType type,
           ? std::numeric_limits<std::size_t>::max()
           : ws_limit;
   // Remember the framework-provided limit keyed by kernel identity.
-  request_limits_[wr_key(type, problem, 0)] = limit;
-
+  planner_.record_limit(type, problem, limit);
   // Record unique kernels for WD.
-  const bool seen = std::any_of(
-      requests_.begin(), requests_.end(),
-      [&](const KernelRequest& r) { return r.matches(type, problem); });
-  if (!seen) {
-    requests_.push_back(KernelRequest{type, problem, label_for(type, problem)});
-  }
-  next_label_.clear();
+  record_kernel(type, problem);
   return kVirtualAlgo;
 }
 
 MicroBenchmark UcudnnHandle::benchmark(ConvKernelType type,
                                        const kernels::ConvProblem& problem,
                                        BatchSizePolicy policy) {
-  return benchmarker_.run(type, problem, policy);
+  return planner_.benchmarker().run(type, problem, policy);
 }
 
-UcudnnHandle::WrEntry& UcudnnHandle::wr_entry(
-    ConvKernelType type, const kernels::ConvProblem& problem) {
-  // Frameworks that never call GetConvolution*Algorithm (the TensorFlow
-  // integration style, §IV-B2) are recorded on first execution instead.
-  const bool seen = std::any_of(
-      requests_.begin(), requests_.end(),
-      [&](const KernelRequest& r) { return r.matches(type, problem); });
-  if (!seen) {
-    requests_.push_back(KernelRequest{type, problem, label_for(type, problem)});
-    next_label_.clear();
-  }
-  const std::size_t limit = effective_limit(type, problem);
-  const std::string key = wr_key(type, problem, limit);
-  auto it = wr_entries_.find(key);
-  if (it != wr_entries_.end()) return it->second;
-
-  const MicroBenchmark bench =
-      benchmarker_.run(type, problem, options_.batch_size_policy);
-  Timer timer;
-  Configuration config = optimize_wr(bench, problem.batch(), limit);
-  total_optimize_ms_ += timer.elapsed_ms();
-  UCUDNN_LOG_INFO << "WR " << to_string(type) << " " << problem.to_string()
-                  << " limit=" << limit << " -> " << config.to_string(type)
-                  << " time=" << config.time_ms
-                  << "ms ws=" << config.workspace;
-
-  // Tag workspace memory with the layer label when we know it.
-  std::string tag = "workspace";
-  for (const auto& request : requests_) {
-    if (request.matches(type, problem)) {
-      tag = request.label + ":ws";
-      break;
-    }
-  }
-  DeviceBuffer ws;
-  for (;;) {
-    try {
-      if (options_.share_wr_workspace) {
-        // Sequential execution: one shared buffer, grown to the largest need.
-        if (config.workspace > shared_ws_.size()) {
-          shared_ws_ = DeviceBuffer(handle_.device_ptr(), config.workspace,
-                                    "shared:ws");
-        }
-      } else {
-        ws = DeviceBuffer(handle_.device_ptr(), config.workspace, tag);
-      }
-      break;
-    } catch (const Error& e) {
-      if (e.status() != Status::kAllocFailed || options_.fail_fast ||
-          config.workspace == 0) {
-        throw;
-      }
-      // Graceful degradation (§I: a resource shortfall must not abort the
-      // run): re-optimize under a geometrically halved limit. Terminates
-      // because the front always contains the zero-workspace configuration.
-      const std::size_t degraded_limit = config.workspace / 2;
-      ++stats_.degraded_allocations;
-      UCUDNN_LOG_WARN << "workspace allocation of " << config.workspace
-                      << " bytes failed for " << tag << " (" << e.what()
-                      << "); re-optimizing with limit " << degraded_limit;
-      Timer degrade_timer;
-      config = optimize_wr(bench, problem.batch(), degraded_limit);
-      total_optimize_ms_ += degrade_timer.elapsed_ms();
-    }
-  }
-  auto [inserted, ok] =
-      wr_entries_.emplace(key, WrEntry{std::move(config), std::move(ws)});
-  (void)ok;
-  return inserted->second;
-}
-
-void UcudnnHandle::finalize_wd() {
-  if (wd_finalized() || wd_degraded_to_wr_) return;
-  check(options_.workspace_policy == WorkspacePolicy::kWD,
-        Status::kBadParam, "finalize_wd requires UCUDNN_WORKSPACE_POLICY=wd");
-  Timer timer;
-  WdPlan plan;
-  std::size_t limit = options_.total_workspace_size;
-  for (;;) {
-    try {
-      plan = optimize_wd(benchmarker_, requests_, limit,
-                         options_.batch_size_policy, options_.wd_solver,
-                         options_.ilp_max_nodes);
-    } catch (const Error& e) {
-      total_optimize_ms_ += timer.elapsed_ms();
-      if (e.status() != Status::kNotSupported || options_.fail_fast) throw;
-      // No feasible division at all: degrade to per-kernel WR, which plans
-      // each kernel independently (and can itself degrade further).
-      ++stats_.solver_fallbacks;
-      wd_degraded_to_wr_ = true;
-      UCUDNN_LOG_WARN << "WD plan infeasible (" << e.what()
-                      << "); degrading to per-kernel WR";
-      return;
-    }
-    try {
-      wd_arena_ = DeviceBuffer(handle_.device_ptr(), plan.total_workspace,
-                               "wd_arena");
-      break;
-    } catch (const Error& e) {
-      if (e.status() != Status::kAllocFailed || options_.fail_fast ||
-          plan.total_workspace == 0) {
-        throw;
-      }
-      // The optimizer's limit was infeasible on the actual device: halve
-      // what the plan really used and re-solve, down to the zero-workspace
-      // division.
-      ++stats_.degraded_allocations;
-      limit = plan.total_workspace / 2;
-      UCUDNN_LOG_WARN << "WD arena allocation of " << plan.total_workspace
-                      << " bytes failed (" << e.what()
-                      << "); re-optimizing with total limit " << limit;
-    }
-  }
-  if (plan.solver_fell_back) ++stats_.solver_fallbacks;
-  total_optimize_ms_ += timer.elapsed_ms();
-  UCUDNN_LOG_INFO << "WD finalized: " << requests_.size() << " kernels, "
-                  << plan.num_variables << " ILP variables, arena "
-                  << plan.total_workspace << " bytes, solve "
-                  << plan.solve_ms << " ms";
-  wd_plan_ = std::move(plan);
-}
-
-const WdAssignment* UcudnnHandle::wd_assignment(
-    ConvKernelType type, const kernels::ConvProblem& problem) const {
-  if (!wd_plan_) return nullptr;
-  for (std::size_t i = 0; i < requests_.size(); ++i) {
-    if (requests_[i].matches(type, problem)) {
-      return &wd_plan_->assignments[i];
-    }
-  }
-  return nullptr;
-}
+void UcudnnHandle::finalize_wd() { planner_.finalize_wd(requests_); }
 
 const Configuration* UcudnnHandle::configuration_for(
     ConvKernelType type, const kernels::ConvProblem& problem) {
-  if (options_.workspace_policy == WorkspacePolicy::kWD &&
-      !wd_degraded_to_wr_) {
-    const WdAssignment* assignment = wd_assignment(type, problem);
-    return assignment ? &assignment->config : nullptr;
-  }
-  const std::size_t limit = effective_limit(type, problem);
-  const auto it = wr_entries_.find(wr_key(type, problem, limit));
-  return it != wr_entries_.end() ? &it->second.config : nullptr;
-}
-
-void UcudnnHandle::apply_pending_invalidations() {
-  if (pending_invalidations_.empty()) return;
-  for (const auto& [type, algo] : pending_invalidations_) {
-    const std::string prefix = std::string(to_string(type)) + "|";
-    for (auto it = wr_entries_.begin(); it != wr_entries_.end();) {
-      const bool uses =
-          it->first.compare(0, prefix.size(), prefix) == 0 &&
-          std::any_of(it->second.config.micro.begin(),
-                      it->second.config.micro.end(),
-                      [&](const MicroConfig& m) { return m.algo == algo; });
-      it = uses ? wr_entries_.erase(it) : std::next(it);
-    }
-    if (wd_plan_) {
-      for (std::size_t i = 0; i < requests_.size(); ++i) {
-        const auto& micro = wd_plan_->assignments[i].config.micro;
-        if (requests_[i].type == type &&
-            std::any_of(micro.begin(), micro.end(),
-                        [&](const MicroConfig& m) { return m.algo == algo; })) {
-          // The whole arena layout depends on every assignment; re-plan from
-          // scratch at the next finalize (the blacklist filter makes the new
-          // plan avoid the algorithm).
-          wd_plan_.reset();
-          wd_arena_ = DeviceBuffer();
-          break;
-        }
-      }
-    }
-  }
-  pending_invalidations_.clear();
+  return planner_.configuration_for(type, problem, requests_);
 }
 
 void UcudnnHandle::convolution(ConvKernelType type,
                                const kernels::ConvProblem& problem, float alpha,
                                const float* a, const float* b, float beta,
                                float* out) {
-  apply_pending_invalidations();
-  if (options_.workspace_policy == WorkspacePolicy::kWD &&
-      !wd_degraded_to_wr_) {
-    if (!wd_finalized()) finalize_wd();
-    if (const WdAssignment* assignment = wd_assignment(type, problem)) {
-      char* arena = static_cast<char*>(wd_arena_.data());
-      execute_configuration(type, problem, assignment->config, alpha, a, b,
-                            beta, out,
-                            arena == nullptr ? nullptr
-                                             : arena + assignment->offset,
-                            assignment->config.workspace);
-      return;
-    }
-    if (wd_finalized()) {
-      UCUDNN_LOG_WARN << "WD: unrecorded kernel " << problem.to_string()
-                      << ", falling back to WR";
-    }
-  }
-  WrEntry& entry = wr_entry(type, problem);
-  if (options_.share_wr_workspace) {
-    execute_configuration(type, problem, entry.config, alpha, a, b, beta, out,
-                          shared_ws_.data(), shared_ws_.size());
-  } else {
-    execute_configuration(type, problem, entry.config, alpha, a, b, beta, out,
-                          entry.workspace.data(), entry.workspace.size());
-  }
-}
-
-void UcudnnHandle::execute_configuration(ConvKernelType type,
-                                         const kernels::ConvProblem& problem,
-                                         const Configuration& config,
-                                         float alpha, const float* a,
-                                         const float* b, float beta, float* out,
-                                         void* ws, std::size_t ws_bytes) {
-  check(config.batch == problem.batch(), Status::kInternalError,
-        "configuration does not cover the mini-batch");
-
-  const analysis::ScopedAuditContext audit_context(
-      options_.workspace_policy == WorkspacePolicy::kWD ? "WD" : "WR");
-  if (analysis::workspace_audit_enabled()) {
-    // BackwardFilter beta-accumulates dw across micro-batches, so workspace
-    // aliasing any operand (or the operands aliasing the accumulator)
-    // silently corrupts gradients. All live spans must be disjoint.
-    const std::size_t a_bytes = static_cast<std::size_t>(
-        type == ConvKernelType::kBackwardData ? problem.y.bytes()
-                                              : problem.x.bytes());
-    const std::size_t b_bytes = static_cast<std::size_t>(
-        type == ConvKernelType::kBackwardFilter ? problem.y.bytes()
-                                                : problem.w.bytes());
-    const std::size_t out_bytes = static_cast<std::size_t>(
-        type == ConvKernelType::kForward        ? problem.y.bytes()
-        : type == ConvKernelType::kBackwardData ? problem.x.bytes()
-                                                : problem.w.bytes());
-    analysis::check_disjoint({{ws, ws_bytes, "workspace"},
-                              {a, a_bytes, "operand a"},
-                              {b, b_bytes, "operand b"},
-                              {out, out_bytes, "output"}});
-  }
-
-  const std::int64_t image_x = problem.x.c * problem.x.h * problem.x.w;
-  const std::int64_t image_y = problem.y.c * problem.y.h * problem.y.w;
-
-  // Per-micro-batch strides of the sliced operands (0 = operand not sliced).
-  std::int64_t a_stride = 0, out_stride = 0;
-  switch (type) {
-    case ConvKernelType::kForward:
-      a_stride = image_x;
-      out_stride = image_y;
-      break;
-    case ConvKernelType::kBackwardData:
-      a_stride = image_y;
-      out_stride = image_x;
-      break;
-    case ConvKernelType::kBackwardFilter:
-      a_stride = image_x;  // x slices; dy (operand b) slices via b_stride
-      out_stride = 0;      // dw accumulates in place
-      break;
-  }
-  const std::int64_t b_stride =
-      type == ConvKernelType::kBackwardFilter ? image_y : 0;
-
-  // The division is mutable: when an algorithm keeps failing past the retry
-  // budget, the not-yet-executed tail is re-planned in place. A failed
-  // mcudnn::convolution throws before touching any operand byte, so retrying
-  // (or switching algorithms for the remaining micro-batches) cannot change
-  // the values already produced.
-  std::vector<MicroConfig> micros = config.micro;
-  std::int64_t offset = 0;
-  bool first = true;
-  int replans = 0;
-  std::size_t idx = 0;
-  while (idx < micros.size()) {
-    const MicroConfig micro = micros[idx];
-    const kernels::ConvProblem sub = problem.with_batch(micro.batch);
-    const float* a_ptr = a == nullptr ? nullptr : a + offset * a_stride;
-    const float* b_ptr = b == nullptr ? nullptr : b + offset * b_stride;
-    float* out_ptr = out == nullptr ? nullptr : out + offset * out_stride;
-    // BackwardFilter accumulates across micro-batches (output scale trick).
-    const float micro_beta =
-        type == ConvKernelType::kBackwardFilter && !first ? 1.0f : beta;
-    int failures = 0;
-    bool replanned = false;
-    for (;;) {
-      try {
-        mcudnn::convolution(handle_, type, sub, alpha, a_ptr, b_ptr, micro_beta,
-                            out_ptr, micro.algo, ws, ws_bytes);
-        break;
-      } catch (const Error& e) {
-        if (e.status() != Status::kExecutionFailed || options_.fail_fast) {
-          throw;
-        }
-        ++failures;
-        if (failures <= options_.max_retries) {
-          ++stats_.retries;
-          UCUDNN_LOG_WARN << "transient kernel failure ("
-                          << kernels::algo_name(type, micro.algo) << " on "
-                          << sub.to_string() << "): " << e.what() << "; retry "
-                          << failures << "/" << options_.max_retries;
-          continue;
-        }
-        replan_remaining(type, problem, micro.algo, offset, ws_bytes, micros,
-                         idx, replans);
-        replanned = true;
-        break;
-      }
-    }
-    if (replanned) continue;  // micros[idx] was replaced; run the new plan
-    offset += micro.batch;
-    first = false;
-    ++idx;
-  }
-}
-
-void UcudnnHandle::replan_remaining(ConvKernelType type,
-                                    const kernels::ConvProblem& problem,
-                                    int algo, std::int64_t done,
-                                    std::size_t ws_bytes,
-                                    std::vector<MicroConfig>& micros,
-                                    std::size_t idx, int& replans) {
-  const std::string& device_name = handle_.device().spec().name;
-  benchmarker_.cache()->blacklist(device_name, type, algo);
-  ++stats_.blacklisted_algorithms;
-  // Cached WR/WD plans referencing the algorithm are stale now, but their
-  // workspace is live in the current call chain — invalidate them at the
-  // next convolution() entry instead of here.
-  pending_invalidations_.emplace_back(type, algo);
-  // Each re-plan retires one algorithm, so the algorithm count bounds the
-  // recursion; past that the failure is systemic, not algorithmic.
-  ++replans;
-  check(replans <= kernels::algo_count(type), Status::kExecutionFailed,
-        "kernel keeps failing after blacklisting " +
-            std::to_string(replans - 1) + " algorithms for " +
-            problem.to_string());
-  UCUDNN_LOG_WARN << "blacklisting " << kernels::algo_name(type, algo)
-                  << " on " << device_name << " after repeated failures; "
-                  << "re-planning the remaining "
-                  << (problem.batch() - done) << " samples";
-  // Re-plan only the unexecuted tail: outputs already written (and, for
-  // BackwardFilter, partial accumulations) stay untouched. The existing
-  // workspace bounds the new plan, so no reallocation is needed.
-  const kernels::ConvProblem rest = problem.with_batch(problem.batch() - done);
-  const MicroBenchmark bench =
-      benchmarker_.run(type, rest, options_.batch_size_policy);
-  Timer timer;
-  const Configuration replacement = optimize_wr(bench, rest.batch(), ws_bytes);
-  total_optimize_ms_ += timer.elapsed_ms();
-  micros.resize(idx);
-  micros.insert(micros.end(), replacement.micro.begin(),
-                replacement.micro.end());
+  planner_.apply_pending_invalidations(requests_);
+  record_kernel(type, problem);
+  const PlannedConvolution planned = planner_.plan(type, problem, requests_);
+  executor_.run(*planned.plan, alpha, a, b, beta, out, planned.workspace,
+                planned.workspace_bytes,
+                [&](int algo, std::int64_t done, int replans) {
+                  return planner_.replan_tail(type, problem, algo, done,
+                                              planned.workspace_bytes,
+                                              replans);
+                });
 }
 
 // --- cuDNN-shaped Status API ------------------------------------------------

@@ -7,26 +7,29 @@
 //    an algorithm nor allocates workspace itself;
 //  * records every kernel the framework asks about (the WD pipeline needs
 //    all layer parameters before the first real convolution, §III-E);
-//  * on Convolution* calls, lazily optimizes (WR: per-kernel DP; WD: global
-//    Pareto + ILP over all recorded kernels), allocates workspace internally
-//    (per-kernel buffers for WR, one segmented arena for WD), and executes
-//    the mini-batch as the optimized sequence of micro-batches — using
-//    beta-accumulation for BackwardFilter so semantics are unchanged;
+//  * on Convolution* calls, fetches an ExecutionPlan from the Planner
+//    (optimizing lazily on the first call, from the PlanCache afterwards)
+//    and hands it to the Executor — using beta-accumulation for
+//    BackwardFilter so semantics are unchanged;
 //  * delegates everything else to mcudnn via a cast operator to the wrapped
 //    handle, the same trick the paper uses.
+//
+// The handle itself is a thin facade; policy lives in core/planner.h and
+// mechanics in core/executor.h, with core/plan.h as the IR between them.
 #pragma once
 
-#include <map>
+#include <limits>
 #include <memory>
-#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/benchmarker.h"
+#include "core/executor.h"
 #include "core/options.h"
+#include "core/plan.h"
+#include "core/planner.h"
 #include "core/types.h"
 #include "core/wd_optimizer.h"
-#include "core/wr_optimizer.h"
 #include "mcudnn/mcudnn.h"
 
 namespace ucudnn::core {
@@ -34,49 +37,6 @@ namespace ucudnn::core {
 /// The algorithm ID μ-cuDNN hands back to frameworks; any value the
 /// framework echoes into Convolution* is ignored there.
 inline constexpr int kVirtualAlgo = 0;
-
-/// Default per-kernel workspace limit when neither the framework nor
-/// UCUDNN_WORKSPACE_LIMIT provides one (Caffe's 8 MiB default).
-inline constexpr std::size_t kDefaultPerKernelLimit = std::size_t{8} << 20;
-
-/// RAII buffer of tracked device memory.
-class DeviceBuffer {
- public:
-  DeviceBuffer() = default;
-  DeviceBuffer(std::shared_ptr<device::Device> dev, std::size_t bytes,
-               const std::string& tag);
-  ~DeviceBuffer();
-  DeviceBuffer(DeviceBuffer&& other) noexcept;
-  DeviceBuffer& operator=(DeviceBuffer&& other) noexcept;
-  DeviceBuffer(const DeviceBuffer&) = delete;
-  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
-
-  void* data() const noexcept { return ptr_; }
-  std::size_t size() const noexcept { return bytes_; }
-
- private:
-  std::shared_ptr<device::Device> dev_;
-  void* ptr_ = nullptr;
-  std::size_t bytes_ = 0;
-};
-
-/// Counters for every graceful-degradation event the handle performed
-/// (ROADMAP robustness north-star: a recoverable resource condition must
-/// never abort a training run). Logged at teardown next to the audit report.
-struct DegradationStats {
-  std::uint64_t retries = 0;                 // transient kernel failures retried
-  std::uint64_t degraded_allocations = 0;    // workspace limits halved on OOM
-  std::uint64_t blacklisted_algorithms = 0;  // algos retired after retries
-  std::uint64_t solver_fallbacks = 0;        // ILP->DP and WD->WR fallbacks
-  std::uint64_t cache_quarantines = 0;       // corrupt cache files quarantined
-
-  bool any() const noexcept {
-    return retries != 0 || degraded_allocations != 0 ||
-           blacklisted_algorithms != 0 || solver_fallbacks != 0 ||
-           cache_quarantines != 0;
-  }
-  std::string to_string() const;
-};
 
 /// UcudnnHandle_t equivalent.
 class UcudnnHandle {
@@ -118,7 +78,9 @@ class UcudnnHandle {
   int get_algorithm(ConvKernelType type, const kernels::ConvProblem& problem,
                     mcudnn::AlgoPreference preference, std::size_t ws_limit);
 
-  /// Runs the optimized micro-batched convolution.
+  /// Runs the optimized micro-batched convolution: plan (or PlanCache hit),
+  /// then execute — with the planner's tail-re-plan policy wired into the
+  /// executor's failure handling.
   void convolution(ConvKernelType type, const kernels::ConvProblem& problem,
                    float alpha, const float* a, const float* b, float beta,
                    float* out);
@@ -130,10 +92,8 @@ class UcudnnHandle {
   /// GetConvolution*Algorithm calls are ignored, as in the paper's Caffe
   /// integration.
   void finalize_wd();
-  bool wd_finalized() const noexcept { return wd_plan_.has_value(); }
-  const WdPlan* wd_plan() const noexcept {
-    return wd_plan_ ? &*wd_plan_ : nullptr;
-  }
+  bool wd_finalized() const noexcept { return planner_.wd_finalized(); }
+  const WdPlan* wd_plan() const noexcept { return planner_.wd_plan(); }
 
   // --- introspection (benches, tests) ----------------------------------
 
@@ -154,66 +114,44 @@ class UcudnnHandle {
 
   /// Wall time spent benchmarking micro-configurations so far.
   double total_benchmark_ms() const noexcept {
-    return benchmarker_.total_benchmark_ms();
+    return planner_.benchmarker().total_benchmark_ms();
   }
   /// Wall time spent in DP/ILP optimization so far (excludes benchmarking).
-  double total_optimize_ms() const noexcept { return total_optimize_ms_; }
+  double total_optimize_ms() const noexcept {
+    return planner_.total_optimize_ms();
+  }
+  /// Wall time spent re-benchmarking during tail re-plans (degraded path).
+  double total_replan_benchmark_ms() const noexcept {
+    return planner_.total_replan_benchmark_ms();
+  }
 
   const std::shared_ptr<BenchmarkCache>& cache() const noexcept {
-    return benchmarker_.cache();
+    return planner_.benchmarker().cache();
   }
+
+  /// The steady-state plan cache (hit/miss counters, blacklist epoch).
+  const PlanCache& plan_cache() const noexcept { return planner_.plan_cache(); }
 
   /// Degradation events accumulated over the handle's lifetime.
   const DegradationStats& degradation_stats() const noexcept { return stats_; }
 
  private:
-  struct WrEntry {
-    Configuration config;
-    DeviceBuffer workspace;
-  };
-
-  std::string wr_key(ConvKernelType type, const kernels::ConvProblem& problem,
-                     std::size_t limit) const;
-  std::size_t effective_limit(ConvKernelType type,
-                              const kernels::ConvProblem& problem) const;
-  WrEntry& wr_entry(ConvKernelType type, const kernels::ConvProblem& problem);
-  const WdAssignment* wd_assignment(ConvKernelType type,
-                                    const kernels::ConvProblem& problem) const;
-  void execute_configuration(ConvKernelType type,
-                             const kernels::ConvProblem& problem,
-                             const Configuration& config, float alpha,
-                             const float* a, const float* b, float beta,
-                             float* out, void* ws, std::size_t ws_bytes);
   std::string label_for(ConvKernelType type,
                         const kernels::ConvProblem& problem) const;
+  /// Appends the kernel to the recorded list if unseen (frameworks that
+  /// never call GetConvolution*Algorithm — the TensorFlow integration style,
+  /// §IV-B2 — are recorded on first execution) and consumes the pending
+  /// label either way.
+  void record_kernel(ConvKernelType type, const kernels::ConvProblem& problem);
   void init_cache_from_file();
-  /// Blacklists `algo`, re-plans the not-yet-executed tail of the mini-batch
-  /// within the workspace already held, and splices the replacement division
-  /// into `micros` at `idx`.
-  void replan_remaining(ConvKernelType type,
-                        const kernels::ConvProblem& problem, int algo,
-                        std::int64_t done, std::size_t ws_bytes,
-                        std::vector<MicroConfig>& micros, std::size_t idx,
-                        int& replans);
-  /// Drops cached plans that reference blacklisted algorithms. Deferred to
-  /// the next convolution() entry because the invalidating event happens
-  /// mid-execution, while the plan's workspace pointer is still in use.
-  void apply_pending_invalidations();
 
   mcudnn::Handle handle_;
   Options options_;
-  Benchmarker benchmarker_;
-  std::vector<KernelRequest> requests_;             // unique kernels
-  std::map<std::string, std::size_t> request_limits_;  // wr_key -> limit
-  std::map<std::string, WrEntry> wr_entries_;
-  DeviceBuffer shared_ws_;  // used when options_.share_wr_workspace
-  std::optional<WdPlan> wd_plan_;
-  DeviceBuffer wd_arena_;
+  DegradationStats stats_;  // shared by reference with planner_/executor_
+  Planner planner_;
+  Executor executor_;
+  std::vector<KernelRequest> requests_;  // unique kernels
   std::string next_label_;
-  double total_optimize_ms_ = 0.0;
-  DegradationStats stats_;
-  bool wd_degraded_to_wr_ = false;  // infeasible WD plan -> per-kernel WR
-  std::vector<std::pair<ConvKernelType, int>> pending_invalidations_;
 };
 
 // --- free-function overloads mirroring the mcudnn problem-level API -------

@@ -177,6 +177,14 @@ void Net::init(std::uint64_t seed) {
 
 void Net::forward() {
   if (!initialized_) init();
+  // Caffe-style WD integration (§III-E): every ConvLayer announced its
+  // kernels at construction, so the recorded list is complete — freeze it
+  // and solve the arena division up front instead of inside the first
+  // convolution. A WD plan already degraded to WR makes this a no-op.
+  if (ctx_.handle.options().workspace_policy == core::WorkspacePolicy::kWD &&
+      !ctx_.handle.wd_finalized()) {
+    ctx_.handle.finalize_wd();
+  }
   for (auto& layer : layers_) layer->forward(ctx_);
 }
 

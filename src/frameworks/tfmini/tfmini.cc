@@ -596,8 +596,32 @@ void Session::backward_op(int index) {
   }
 }
 
+void Session::register_conv_kernels() {
+  constexpr ConvKernelType kPasses[] = {ConvKernelType::kForward,
+                                        ConvKernelType::kBackwardFilter,
+                                        ConvKernelType::kBackwardData};
+  for (const Op& op : graph_.ops()) {
+    if (op.type != OpType::kConv2d) continue;
+    const kernels::ConvProblem problem(graph_.op(op.inputs[0]).shape,
+                                       op.filter, op.geom);
+    for (const ConvKernelType type : kPasses) {
+      handle_.set_next_kernel_label(op.name);
+      handle_.get_algorithm(type, problem,
+                            mcudnn::AlgoPreference::kSpecifyWorkspaceLimit,
+                            core::kDefaultPerKernelLimit);
+    }
+  }
+}
+
 void Session::run_forward() {
   if (!initialized_) initialize();
+  if (!registered_kernels_) {
+    // The graph already contains the gradient tape, so all three kernel
+    // types are known now — announce them before the first execution (and
+    // thus before any WD finalization).
+    register_conv_kernels();
+    registered_kernels_ = true;
+  }
   for (int i = 0; i < static_cast<int>(graph_.ops().size()); ++i) {
     forward_op(i);
   }

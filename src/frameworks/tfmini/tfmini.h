@@ -127,6 +127,14 @@ class Session {
   void forward_op(int index);
   void backward_op(int index);
   void model_memory_op(double bytes) const;
+  /// Announces every Conv2d kernel (forward + both backward passes) to
+  /// μ-cuDNN with its op label and the default workspace limit, mirroring
+  /// TensorFlow's GetConvolution*Algorithm phase. Runs before the first
+  /// execution so the WD kernel list is complete at finalization and
+  /// backward kernels never hit the unrecorded-fallback path.
+  void register_conv_kernels();
+
+  bool registered_kernels_ = false;
 
   Graph& graph_;
   core::UcudnnHandle& handle_;

@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""Layering lint: enforces the include-direction contract of the
+planner/executor split.
+
+The core pipeline is layered facade -> planner -> plan IR <- executor: the
+plan IR is the boundary object, the planner decides, the executor runs, and
+only the UcudnnHandle facade may see both sides. Frameworks sit on top of the
+facade and must never reach under it to mcudnn. C++ cannot express "this
+translation unit must not include that header", so the contract is enforced
+here:
+
+  1. src/core/plan.{h,cc} must not include core/planner.h, core/executor.h
+     or core/ucudnn.h (the IR depends only on the data model).
+  2. src/core/executor.{h,cc} must not include core/planner.h or
+     core/ucudnn.h (execution-time policy arrives via the ReplanFn callback).
+  3. src/core/planner.{h,cc} must not include core/executor.h or
+     core/ucudnn.h (the planner hands plans down, never calls up).
+  4. src/frameworks/** must not include mcudnn/ headers directly — all
+     convolution traffic goes through the core/ucudnn.h facade.
+
+Usage:  check_layering.py [--self-test] [ROOT]
+
+Exits non-zero when findings exist. Suppression: append
+// layering: allow  on the offending line or the line above it.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+SUPPRESS = "layering: allow"
+
+INCLUDE = re.compile(r'^\s*#\s*include\s*["<]([^">]+)[">]', re.MULTILINE)
+
+# (file-selector, forbidden-include prefixes, rationale) — selectors are
+# matched against the path relative to ROOT, with / separators.
+RULES = [
+    (
+        re.compile(r"^src/core/plan\.(h|cc)$"),
+        ("core/planner.h", "core/executor.h", "core/ucudnn.h"),
+        "the plan IR depends only on the core data model",
+    ),
+    (
+        re.compile(r"^src/core/executor\.(h|cc)$"),
+        ("core/planner.h", "core/ucudnn.h"),
+        "the executor receives policy via callback, never includes the planner",
+    ),
+    (
+        re.compile(r"^src/core/planner\.(h|cc)$"),
+        ("core/executor.h", "core/ucudnn.h"),
+        "the planner hands plans down, never calls up into execution",
+    ),
+    (
+        re.compile(r"^src/frameworks/.+\.(h|cc)$"),
+        ("mcudnn/",),
+        "frameworks integrate through the core/ucudnn.h facade only",
+    ),
+]
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments and string/char literal contents, preserving layout
+    (so line arithmetic still works on the result). Include directives use
+    quotes, so quoted include paths are preserved verbatim."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            chunk = text[i : j + 2]
+            out.append("".join(ch if ch == "\n" else " " for ch in chunk))
+            i = j + 2
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, pos: int) -> int:
+    return text.count("\n", 0, pos) + 1
+
+
+def suppressed(raw_lines: list[str], line: int) -> bool:
+    for candidate in (line - 1, line - 2):  # the line itself, the line above
+        if 0 <= candidate < len(raw_lines) and SUPPRESS in raw_lines[candidate]:
+            return True
+    return False
+
+
+def check_text(rel: str, raw: str) -> list[str]:
+    """Returns findings for one file's contents (rel is the ROOT-relative
+    path with / separators)."""
+    rules = [r for r in RULES if r[0].match(rel)]
+    if not rules:
+        return []
+    clean = strip_comments_and_strings(raw)
+    raw_lines = raw.splitlines()
+    findings = []
+    for match in INCLUDE.finditer(clean):
+        header = match.group(1)
+        line = line_of(clean, match.start())
+        if suppressed(raw_lines, line):
+            continue
+        for _, forbidden, why in rules:
+            for prefix in forbidden:
+                if header == prefix or header.startswith(prefix):
+                    findings.append(
+                        f"{rel}:{line}: layering: {rel} must not include "
+                        f'"{header}" ({why})'
+                    )
+    return findings
+
+
+def scan_tree(root: Path) -> list[str]:
+    findings = []
+    for base in ("src/core", "src/frameworks"):
+        directory = root / base
+        if not directory.is_dir():
+            continue
+        for path in sorted(directory.rglob("*")):
+            if path.suffix in {".h", ".cc"} and path.is_file():
+                rel = path.relative_to(root).as_posix()
+                raw = path.read_text(encoding="utf-8", errors="replace")
+                findings.extend(check_text(rel, raw))
+    return findings
+
+
+def self_test() -> int:
+    cases = [
+        # (rel path, contents, expected finding count)
+        ("src/core/plan.h", '#include "core/planner.h"\n', 1),
+        ("src/core/plan.cc", '#include "core/executor.h"\n', 1),
+        ("src/core/plan.cc", '#include "core/types.h"\n', 0),
+        ("src/core/executor.h", '#include "core/planner.h"\n', 1),
+        ("src/core/executor.cc", '#include "core/ucudnn.h"\n', 1),
+        # The executor may see the IR and the raw library.
+        (
+            "src/core/executor.h",
+            '#include "core/plan.h"\n#include "mcudnn/mcudnn.h"\n',
+            0,
+        ),
+        ("src/core/planner.cc", '#include "core/executor.h"\n', 1),
+        ("src/core/planner.h", '#include "core/plan.h"\n', 0),
+        ("src/frameworks/caffepp/net.cc", '#include "mcudnn/mcudnn.h"\n', 1),
+        ("src/frameworks/tfmini/tfmini.h", '#include "core/ucudnn.h"\n', 0),
+        # Commented-out includes and suppressions do not count.
+        ("src/core/plan.h", '// #include "core/planner.h"\n', 0),
+        (
+            "src/core/plan.h",
+            '#include "core/planner.h"  // layering: allow\n',
+            0,
+        ),
+        # Other files are out of scope for the core rules.
+        ("src/core/ucudnn.h", '#include "core/planner.h"\n', 0),
+    ]
+    failures = []
+    for rel, text, expected in cases:
+        got = check_text(rel, text)
+        if len(got) != expected:
+            failures.append((rel, text, expected, got))
+    if failures:
+        print("self-test FAILED")
+        for rel, text, expected, got in failures:
+            print(f"  {rel!r} x {text!r}: expected {expected}, got {len(got)}")
+            for f in got:
+                print(f"    {f}")
+        return 1
+    print(f"self-test passed ({len(cases)} cases)")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    args = [a for a in argv[1:] if a != "--self-test"]
+    if "--self-test" in argv[1:]:
+        return self_test()
+    root = Path(args[0]) if args else Path(__file__).resolve().parent.parent
+    findings = scan_tree(root)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"\n{len(findings)} layering violation(s)")
+        return 1
+    print("layering clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
