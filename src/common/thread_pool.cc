@@ -95,8 +95,14 @@ void ThreadPool::parallel_for(
         std::lock_guard<std::mutex> lock(state.error_mutex);
         if (!state.error) state.error = std::current_exception();
       }
+      // The decrement and the notify must both happen under done_mutex: if
+      // the count dropped to zero before the lock, a spuriously woken waiter
+      // could observe remaining == 0, return, and destroy the stack-local
+      // State while this worker is still about to lock state.done_mutex.
+      // Holding the lock means the waiter cannot re-check the predicate
+      // until the worker — which touches nothing after the unlock — is done.
+      std::lock_guard<std::mutex> lock(state.done_mutex);
       if (state.remaining.fetch_sub(1) == 1) {
-        std::lock_guard<std::mutex> lock(state.done_mutex);
         state.done_cv.notify_one();
       }
     });

@@ -8,8 +8,26 @@
 #include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/status.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace ucudnn::core {
+
+namespace {
+
+telemetry::Counter& cache_hits_metric() {
+  static telemetry::Counter c = telemetry::MetricsRegistry::instance().counter(
+      "ucudnn.benchmark_cache.hits");
+  return c;
+}
+
+telemetry::Counter& cache_misses_metric() {
+  static telemetry::Counter c = telemetry::MetricsRegistry::instance().counter(
+      "ucudnn.benchmark_cache.misses");
+  return c;
+}
+
+}  // namespace
 
 std::string BenchmarkCache::make_key(const std::string& device,
                                      ConvKernelType type,
@@ -33,7 +51,11 @@ std::optional<std::vector<mcudnn::AlgoPerf>> BenchmarkCache::lookup(
     const kernels::ConvProblem& problem, std::int64_t micro_batch) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = entries_.find(make_key(device, type, problem, micro_batch));
-  if (it == entries_.end()) return std::nullopt;
+  if (it == entries_.end()) {
+    cache_misses_metric().add(1);
+    return std::nullopt;
+  }
+  cache_hits_metric().add(1);
   if (blacklist_.empty()) return it->second;
   std::vector<mcudnn::AlgoPerf> filtered;
   filtered.reserve(it->second.size());
@@ -42,6 +64,13 @@ std::optional<std::vector<mcudnn::AlgoPerf>> BenchmarkCache::lookup(
                  return blacklist_.count(blacklist_key(device, type, p.algo)) ==
                         0;
                });
+  if (filtered.empty() && !it->second.empty()) {
+    // The blacklist emptied a non-empty entry. Returning the empty vector
+    // would read as "this problem supports no algorithms at all" and make
+    // the caller give up; a miss instead sends it back to find_algorithms,
+    // which re-measures and applies the blacklist to fresh results.
+    return std::nullopt;
+  }
   return filtered;
 }
 
@@ -106,7 +135,11 @@ std::vector<mcudnn::AlgoPerf> BenchmarkCache::decode_perfs(
     std::istringstream is(item);
     is >> perf.algo >> sep1 >> status >> sep2 >> perf.time_ms >> sep3 >>
         perf.memory;
-    check(!is.fail() && sep1 == ':' && sep2 == ':' && sep3 == ':',
+    // `is.peek() == EOF` rejects trailing bytes: the format has exactly four
+    // fields and no whitespace, so "0:0:1.5:64junk" is corruption, not a
+    // value — accepting it silently would load a truncated/damaged entry.
+    check(!is.fail() && sep1 == ':' && sep2 == ':' && sep3 == ':' &&
+              is.peek() == std::istringstream::traits_type::eof(),
           Status::kInternalError, "malformed benchmark cache entry: " + item);
     perf.status = static_cast<Status>(status);
     perfs.push_back(perf);
@@ -115,6 +148,7 @@ std::vector<mcudnn::AlgoPerf> BenchmarkCache::decode_perfs(
 }
 
 CacheLoadResult BenchmarkCache::load_file(const std::string& path) {
+  const telemetry::ScopedSpan span("cache_load", [&] { return path; });
   std::ifstream in(path);
   if (!in) return CacheLoadResult::kMissing;  // missing cache files are fine
 
@@ -162,6 +196,7 @@ CacheLoadResult BenchmarkCache::load_file(const std::string& path) {
 }
 
 void BenchmarkCache::save_file(const std::string& path) const {
+  const telemetry::ScopedSpan span("cache_save", [&] { return path; });
   // Write-then-rename: readers either see the old complete database or the
   // new complete one, never a torn write.
   const std::string tmp_path = path + ".tmp";

@@ -6,8 +6,33 @@
 #include "analysis/workspace_audit.h"
 #include "common/status.h"
 #include "common/timer.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace ucudnn::core {
+
+namespace {
+
+telemetry::DoubleCounter& benchmark_total_ms_metric() {
+  static telemetry::DoubleCounter c =
+      telemetry::MetricsRegistry::instance().double_counter(
+          "ucudnn.benchmark.total_ms");
+  return c;
+}
+
+telemetry::Counter& benchmark_runs_metric() {
+  static telemetry::Counter c =
+      telemetry::MetricsRegistry::instance().counter("ucudnn.benchmark.runs");
+  return c;
+}
+
+telemetry::Histogram& benchmark_ms_histogram() {
+  static telemetry::Histogram h =
+      telemetry::MetricsRegistry::instance().histogram("ucudnn.benchmark.ms");
+  return h;
+}
+
+}  // namespace
 
 Benchmarker::Benchmarker(std::vector<mcudnn::Handle> handles,
                          std::shared_ptr<BenchmarkCache> cache)
@@ -19,40 +44,49 @@ Benchmarker::Benchmarker(std::vector<mcudnn::Handle> handles,
 MicroBenchmark Benchmarker::run(ConvKernelType type,
                                 const kernels::ConvProblem& problem,
                                 BatchSizePolicy policy) {
+  const telemetry::ScopedSpan span(
+      "benchmark", [&] { return std::string(to_string(type)); });
   Timer timer;
   MicroBenchmark result;
   result.sizes = candidate_micro_sizes(policy, problem.batch());
   result.perfs.resize(result.sizes.size());
 
-  const std::string& device_name = handles_[0].device().spec().name;
-
-  // Resolve cache hits first; collect misses.
-  std::vector<std::size_t> misses;
+  // Every candidate size is assigned round-robin to the handle that will
+  // measure it, and its cache lookup, blacklist filter, and store are all
+  // keyed by that handle's device name. Keying everything by device 0 (as an
+  // earlier revision did) silently cross-pollutes the cache on heterogeneous
+  // nodes: results measured on device w land under device 0's name.
+  std::vector<std::vector<std::size_t>> assigned(handles_.size());
   for (std::size_t i = 0; i < result.sizes.size(); ++i) {
-    if (auto hit = cache_->lookup(device_name, type, problem, result.sizes[i])) {
+    const std::size_t w = i % handles_.size();
+    const std::string& device_name = handles_[w].device().spec().name;
+    if (auto hit =
+            cache_->lookup(device_name, type, problem, result.sizes[i])) {
       result.perfs[i] = std::move(*hit);
     } else {
-      misses.push_back(i);
+      assigned[w].push_back(i);
     }
   }
 
-  // Evaluate misses, striped round-robin across the node's devices
-  // (one worker thread per handle, as in §III-D).
-  if (!misses.empty()) {
-    const std::size_t workers = std::min(handles_.size(), misses.size());
+  // Evaluate misses, one worker thread per handle with work (§III-D).
+  const bool any_miss = std::any_of(
+      assigned.begin(), assigned.end(),
+      [](const std::vector<std::size_t>& a) { return !a.empty(); });
+  if (any_miss) {
     std::vector<std::thread> threads;
-    std::vector<std::exception_ptr> errors(workers);
-    std::vector<char> done(misses.size(), 0);
-    threads.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
+    std::vector<std::exception_ptr> errors(handles_.size());
+    std::vector<char> done(result.sizes.size(), 0);
+    threads.reserve(handles_.size());
+    for (std::size_t w = 0; w < handles_.size(); ++w) {
+      if (assigned[w].empty()) continue;
       threads.emplace_back([&, w] {
         try {
           // Workspace-audit violations during benchmarking are attributed to
           // the benchmarker, not the WR/WD execution path.
           const analysis::ScopedAuditContext audit_context(
               "benchmark:dev" + std::to_string(w));
-          for (std::size_t m = w; m < misses.size(); m += workers) {
-            const std::size_t i = misses[m];
+          const std::string& device_name = handles_[w].device().spec().name;
+          for (const std::size_t i : assigned[w]) {
             auto perfs = mcudnn::find_algorithms(
                 handles_[w], type, problem.with_batch(result.sizes[i]));
             // Keep only successful, non-blacklisted entries; they arrive
@@ -65,7 +99,7 @@ MicroBenchmark Benchmarker::run(ConvKernelType type,
                                        }),
                         perfs.end());
             result.perfs[i] = std::move(perfs);
-            done[m] = 1;
+            done[i] = 1;
           }
         } catch (...) {
           errors[w] = std::current_exception();
@@ -76,18 +110,24 @@ MicroBenchmark Benchmarker::run(ConvKernelType type,
     // Store whatever the workers finished before surfacing any error, so a
     // single failing device does not discard the benchmarking the others
     // already paid for — the retried call resolves those as cache hits.
-    for (std::size_t m = 0; m < misses.size(); ++m) {
-      if (!done[m]) continue;
-      const std::size_t i = misses[m];
-      cache_->store(device_name, type, problem, result.sizes[i],
-                    result.perfs[i]);
+    for (std::size_t w = 0; w < handles_.size(); ++w) {
+      const std::string& device_name = handles_[w].device().spec().name;
+      for (const std::size_t i : assigned[w]) {
+        if (!done[i]) continue;
+        cache_->store(device_name, type, problem, result.sizes[i],
+                      result.perfs[i]);
+      }
     }
     for (const auto& error : errors) {
       if (error) std::rethrow_exception(error);
     }
   }
 
-  total_benchmark_ms_ += timer.elapsed_ms();
+  const double elapsed_ms = timer.elapsed_ms();
+  total_benchmark_ms_.fetch_add(elapsed_ms, std::memory_order_relaxed);
+  benchmark_total_ms_metric().add(elapsed_ms);
+  benchmark_runs_metric().add(1);
+  benchmark_ms_histogram().observe_ms(elapsed_ms);
   return result;
 }
 

@@ -5,6 +5,7 @@
 // evaluated concurrently (§III-D "parallel micro-configuration evaluation").
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -23,9 +24,20 @@ struct MicroBenchmark {
 
 class Benchmarker {
  public:
-  /// `handles` must target homogeneous devices; handle 0 is the primary.
+  /// Handle 0 is the primary. Handles are normally homogeneous (one
+  /// mini-batch's candidates only make sense on one device model), but each
+  /// measurement is keyed by its measuring handle's device name, so a
+  /// heterogeneous set cannot cross-pollute the cache.
   Benchmarker(std::vector<mcudnn::Handle> handles,
               std::shared_ptr<BenchmarkCache> cache);
+
+  // The atomic accumulator suppresses the implicit moves the Planner needs.
+  // Moving is only safe between runs, which is the only time it happens.
+  Benchmarker(Benchmarker&& other) noexcept
+      : handles_(std::move(other.handles_)),
+        cache_(std::move(other.cache_)),
+        total_benchmark_ms_(
+            other.total_benchmark_ms_.load(std::memory_order_relaxed)) {}
 
   /// Benchmarks every candidate micro size of `problem`'s batch under
   /// `policy`. Results are cached by (device, kernel, problem, micro size).
@@ -33,8 +45,12 @@ class Benchmarker {
                      BatchSizePolicy policy);
 
   /// Accumulated wall-clock time spent benchmarking (the §IV-B1
-  /// "time to optimization" accounting).
-  double total_benchmark_ms() const noexcept { return total_benchmark_ms_; }
+  /// "time to optimization" accounting). Atomic: concurrent run() calls on
+  /// the same Benchmarker must not lose updates. Mirrored process-wide as
+  /// the ucudnn.benchmark.total_ms metric.
+  double total_benchmark_ms() const noexcept {
+    return total_benchmark_ms_.load(std::memory_order_relaxed);
+  }
 
   const std::shared_ptr<BenchmarkCache>& cache() const noexcept {
     return cache_;
@@ -43,7 +59,7 @@ class Benchmarker {
  private:
   std::vector<mcudnn::Handle> handles_;
   std::shared_ptr<BenchmarkCache> cache_;
-  double total_benchmark_ms_ = 0.0;
+  std::atomic<double> total_benchmark_ms_{0.0};
 };
 
 }  // namespace ucudnn::core

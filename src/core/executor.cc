@@ -5,9 +5,29 @@
 #include "analysis/alias_check.h"
 #include "analysis/workspace_audit.h"
 #include "common/logging.h"
+#include "common/timer.h"
 #include "kernels/registry.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace ucudnn::core {
+
+namespace {
+
+telemetry::Counter& segments_metric() {
+  static telemetry::Counter c = telemetry::MetricsRegistry::instance().counter(
+      "ucudnn.executor.segments");
+  return c;
+}
+
+telemetry::Histogram& segment_ms_histogram() {
+  static telemetry::Histogram h =
+      telemetry::MetricsRegistry::instance().histogram(
+          "ucudnn.executor.segment_ms");
+  return h;
+}
+
+}  // namespace
 
 Executor::Executor(mcudnn::Handle& handle, const Options& options,
                    DegradationStats& stats)
@@ -38,6 +58,11 @@ void Executor::run(const ExecutionPlan& plan, float alpha, const float* a,
   std::size_t idx = 0;
   while (idx < segments.size()) {
     const PlanSegment segment = segments[idx];
+    const telemetry::ScopedSpan span("segment_exec", [&] {
+      return "batch=" + std::to_string(segment.batch) +
+             " algo=" + std::to_string(segment.algo);
+    });
+    Timer segment_timer;
     const kernels::ConvProblem sub = problem.with_batch(segment.batch);
     const float* a_ptr = a == nullptr ? nullptr : a + segment.a_offset;
     const float* b_ptr = b == nullptr ? nullptr : b + segment.b_offset;
@@ -79,7 +104,7 @@ void Executor::run(const ExecutionPlan& plan, float alpha, const float* a,
         }
         ++failures;
         if (failures <= options_.max_retries) {
-          ++stats_.retries;
+          stats_.count_retry();
           UCUDNN_LOG_WARN << "transient kernel failure ("
                           << kernels::algo_name(type, segment.algo) << " on "
                           << sub.to_string() << "): " << e.what()
@@ -96,6 +121,8 @@ void Executor::run(const ExecutionPlan& plan, float alpha, const float* a,
       }
     }
     if (replanned) continue;  // segments[idx] was replaced; run the new tail
+    segments_metric().add(1);
+    segment_ms_histogram().observe_ms(segment_timer.elapsed_ms());
     done += segment.batch;
     ++idx;
   }

@@ -19,6 +19,16 @@
 //                                ILP solver falls back to MCKP-DP (1000000)
 //   UCUDNN_FAULTS                fault-injection schedule (testing only; see
 //                                docs/robustness.md)            (unset = off)
+//   UCUDNN_TELEMETRY             1/true/on/yes = metrics + trace spans; any
+//                                other value = also write a plain-text metrics
+//                                snapshot to that path at exit; 0/false/off/no
+//                                = off (docs/observability.md)  (unset = off)
+//   UCUDNN_TRACE_FILE            chrome://tracing JSON written at exit;
+//                                implies telemetry on           (unset = off)
+//
+// The telemetry variables are read by the src/telemetry leaf directly (not
+// through Options): telemetry must stay includable from every layer without
+// creating a cycle back into core.
 #pragma once
 
 #include <cstdint>

@@ -10,8 +10,52 @@
 #include "core/wr_optimizer.h"
 #include "kernels/registry.h"
 #include "mcudnn/mcudnn.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace ucudnn::core {
+
+namespace {
+
+telemetry::Counter& plan_cache_hits_metric() {
+  static telemetry::Counter c = telemetry::MetricsRegistry::instance().counter(
+      "ucudnn.plan_cache.hits");
+  return c;
+}
+
+telemetry::Counter& plan_cache_misses_metric() {
+  static telemetry::Counter c = telemetry::MetricsRegistry::instance().counter(
+      "ucudnn.plan_cache.misses");
+  return c;
+}
+
+telemetry::Gauge& plan_cache_epoch_metric() {
+  static telemetry::Gauge g = telemetry::MetricsRegistry::instance().gauge(
+      "ucudnn.plan_cache.epoch");
+  return g;
+}
+
+telemetry::DoubleCounter& optimize_ms_metric() {
+  static telemetry::DoubleCounter c =
+      telemetry::MetricsRegistry::instance().double_counter(
+          "ucudnn.planner.optimize_ms");
+  return c;
+}
+
+telemetry::DoubleCounter& replan_benchmark_ms_metric() {
+  static telemetry::DoubleCounter c =
+      telemetry::MetricsRegistry::instance().double_counter(
+          "ucudnn.planner.replan_benchmark_ms");
+  return c;
+}
+
+telemetry::Counter& replans_metric() {
+  static telemetry::Counter c = telemetry::MetricsRegistry::instance().counter(
+      "ucudnn.planner.replans");
+  return c;
+}
+
+}  // namespace
 
 DeviceBuffer::DeviceBuffer(std::shared_ptr<device::Device> dev,
                            std::size_t bytes, const std::string& tag)
@@ -42,9 +86,11 @@ std::shared_ptr<const ExecutionPlan> PlanCache::lookup(const std::string& key) {
   const auto it = plans_.find(key);
   if (it == plans_.end()) {
     ++misses_;
+    plan_cache_misses_metric().add(1);
     return nullptr;
   }
   ++hits_;
+  plan_cache_hits_metric().add(1);
   return it->second;
 }
 
@@ -58,6 +104,8 @@ void PlanCache::bump_epoch() {
   // every key); dropping them just releases the memory eagerly.
   plans_.clear();
   ++epoch_;
+  // Process-wide mirror: total epoch bumps across every handle.
+  plan_cache_epoch_metric().add(1);
 }
 
 Planner::Planner(mcudnn::Handle& handle, Options& options,
@@ -66,6 +114,16 @@ Planner::Planner(mcudnn::Handle& handle, Options& options,
       options_(options),
       stats_(stats),
       benchmarker_(std::move(benchmarker)) {}
+
+void Planner::charge_optimize_ms(double ms) {
+  total_optimize_ms_.fetch_add(ms, std::memory_order_relaxed);
+  optimize_ms_metric().add(ms);
+}
+
+void Planner::charge_replan_benchmark_ms(double ms) {
+  total_replan_benchmark_ms_.fetch_add(ms, std::memory_order_relaxed);
+  replan_benchmark_ms_metric().add(ms);
+}
 
 std::string Planner::wr_key(ConvKernelType type,
                             const kernels::ConvProblem& problem,
@@ -122,9 +180,10 @@ Planner::WrEntry& Planner::wr_entry(ConvKernelType type,
 
   const MicroBenchmark bench =
       benchmarker_.run(type, problem, options_.batch_size_policy);
+  const telemetry::ScopedSpan span("wr_dp", [&] { return key; });
   Timer timer;
   Configuration config = optimize_wr(bench, problem.batch(), limit);
-  total_optimize_ms_ += timer.elapsed_ms();
+  charge_optimize_ms(timer.elapsed_ms());
   UCUDNN_LOG_INFO << "WR " << to_string(type) << " " << problem.to_string()
                   << " limit=" << limit << " -> " << config.to_string(type)
                   << " time=" << config.time_ms
@@ -160,13 +219,13 @@ Planner::WrEntry& Planner::wr_entry(ConvKernelType type,
       // run): re-optimize under a geometrically halved limit. Terminates
       // because the front always contains the zero-workspace configuration.
       const std::size_t degraded_limit = config.workspace / 2;
-      ++stats_.degraded_allocations;
+      stats_.count_degraded_allocation();
       UCUDNN_LOG_WARN << "workspace allocation of " << config.workspace
                       << " bytes failed for " << tag << " (" << e.what()
                       << "); re-optimizing with limit " << degraded_limit;
       Timer degrade_timer;
       config = optimize_wr(bench, problem.batch(), degraded_limit);
-      total_optimize_ms_ += degrade_timer.elapsed_ms();
+      charge_optimize_ms(degrade_timer.elapsed_ms());
     }
   }
   auto [inserted, ok] =
@@ -179,6 +238,9 @@ void Planner::finalize_wd(const std::vector<KernelRequest>& requests) {
   if (wd_finalized() || wd_degraded_to_wr_) return;
   check(options_.workspace_policy == WorkspacePolicy::kWD,
         Status::kBadParam, "finalize_wd requires UCUDNN_WORKSPACE_POLICY=wd");
+  const telemetry::ScopedSpan span("wd_ilp", [&] {
+    return std::to_string(requests.size()) + " kernels";
+  });
   Timer timer;
   WdPlan plan;
   std::size_t limit = options_.total_workspace_size;
@@ -188,11 +250,11 @@ void Planner::finalize_wd(const std::vector<KernelRequest>& requests) {
                          options_.batch_size_policy, options_.wd_solver,
                          options_.ilp_max_nodes);
     } catch (const Error& e) {
-      total_optimize_ms_ += timer.elapsed_ms();
+      charge_optimize_ms(timer.elapsed_ms());
       if (e.status() != Status::kNotSupported || options_.fail_fast) throw;
       // No feasible division at all: degrade to per-kernel WR, which plans
       // each kernel independently (and can itself degrade further).
-      ++stats_.solver_fallbacks;
+      stats_.count_solver_fallback();
       wd_degraded_to_wr_ = true;
       UCUDNN_LOG_WARN << "WD plan infeasible (" << e.what()
                       << "); degrading to per-kernel WR";
@@ -210,15 +272,15 @@ void Planner::finalize_wd(const std::vector<KernelRequest>& requests) {
       // The optimizer's limit was infeasible on the actual device: halve
       // what the plan really used and re-solve, down to the zero-workspace
       // division.
-      ++stats_.degraded_allocations;
+      stats_.count_degraded_allocation();
       limit = plan.total_workspace / 2;
       UCUDNN_LOG_WARN << "WD arena allocation of " << plan.total_workspace
                       << " bytes failed (" << e.what()
                       << "); re-optimizing with total limit " << limit;
     }
   }
-  if (plan.solver_fell_back) ++stats_.solver_fallbacks;
-  total_optimize_ms_ += timer.elapsed_ms();
+  if (plan.solver_fell_back) stats_.count_solver_fallback();
+  charge_optimize_ms(timer.elapsed_ms());
   UCUDNN_LOG_INFO << "WD finalized: " << requests.size() << " kernels, "
                   << plan.num_variables << " ILP variables, arena "
                   << plan.total_workspace << " bytes, solve "
@@ -291,7 +353,7 @@ void Planner::apply_pending_invalidations(
 
 void Planner::note_wd_fallback(ConvKernelType type,
                                const kernels::ConvProblem& problem) {
-  ++stats_.wd_unrecorded_fallbacks;
+  stats_.count_wd_unrecorded_fallback();
   const auto [it, first] =
       wd_fallbacks_.try_emplace(wr_key(type, problem, 0), 0);
   ++it->second;
@@ -349,10 +411,15 @@ PlannedConvolution Planner::plan(ConvKernelType type,
         if (auto cached = plan_cache_.lookup(key)) {
           return resolve(std::move(cached), 0);
         }
-        auto built = std::make_shared<const ExecutionPlan>(build_plan(
-            type, problem, assignment->config,
-            WorkspaceBinding{WorkspaceKind::kWdArena, assignment->offset,
-                             assignment->config.workspace}));
+        std::shared_ptr<const ExecutionPlan> built;
+        {
+          const telemetry::ScopedSpan span("plan_build",
+                                           [&] { return key; });
+          built = std::make_shared<const ExecutionPlan>(build_plan(
+              type, problem, assignment->config,
+              WorkspaceBinding{WorkspaceKind::kWdArena, assignment->offset,
+                               assignment->config.workspace}));
+        }
         plan_cache_.insert(key, built);
         return resolve(std::move(built), 0);
       }
@@ -371,8 +438,12 @@ PlannedConvolution Planner::plan(ConvKernelType type,
           ? WorkspaceBinding{WorkspaceKind::kSharedWr, 0, shared_ws_.size()}
           : WorkspaceBinding{WorkspaceKind::kPerKernel, 0,
                              entry.workspace.size()};
-  auto built = std::make_shared<const ExecutionPlan>(
-      build_plan(type, problem, entry.config, binding));
+  std::shared_ptr<const ExecutionPlan> built;
+  {
+    const telemetry::ScopedSpan span("plan_build", [&] { return key; });
+    built = std::make_shared<const ExecutionPlan>(
+        build_plan(type, problem, entry.config, binding));
+  }
   plan_cache_.insert(key, built);
   return resolve(std::move(built), limit);
 }
@@ -380,9 +451,13 @@ PlannedConvolution Planner::plan(ConvKernelType type,
 std::vector<PlanSegment> Planner::replan_tail(
     ConvKernelType type, const kernels::ConvProblem& problem, int algo,
     std::int64_t done, std::size_t ws_bytes, int replans) {
+  const telemetry::ScopedSpan span("replan", [&] {
+    return problem.to_string() + " algo=" + std::to_string(algo);
+  });
+  replans_metric().add(1);
   const std::string& device_name = handle_.device().spec().name;
   benchmarker_.cache()->blacklist(device_name, type, algo);
-  ++stats_.blacklisted_algorithms;
+  stats_.count_blacklisted_algorithm();
   // Cached WR/WD plans referencing the algorithm are stale now, but their
   // workspace is live in the current call chain — the epoch bump makes them
   // unreachable immediately; the buffers themselves are reclaimed at the
@@ -406,10 +481,11 @@ std::vector<PlanSegment> Planner::replan_tail(
   Timer bench_timer;
   const MicroBenchmark bench =
       benchmarker_.run(type, rest, options_.batch_size_policy);
-  total_replan_benchmark_ms_ += bench_timer.elapsed_ms();
+  charge_replan_benchmark_ms(bench_timer.elapsed_ms());
+  const telemetry::ScopedSpan wr_span("wr_dp");
   Timer timer;
   const Configuration replacement = optimize_wr(bench, rest.batch(), ws_bytes);
-  total_optimize_ms_ += timer.elapsed_ms();
+  charge_optimize_ms(timer.elapsed_ms());
   return build_tail_segments(type, problem, replacement, done);
 }
 

@@ -14,6 +14,7 @@
 // the planner only through the callback the facade wires up.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -158,12 +159,16 @@ class Planner {
   const PlanCache& plan_cache() const noexcept { return plan_cache_; }
 
   /// Wall time spent in DP/ILP optimization (excludes benchmarking).
-  double total_optimize_ms() const noexcept { return total_optimize_ms_; }
+  /// Atomic thin read; mirrored process-wide as ucudnn.planner.optimize_ms.
+  double total_optimize_ms() const noexcept {
+    return total_optimize_ms_.load(std::memory_order_relaxed);
+  }
   /// Wall time spent re-benchmarking inside tail re-plans. Kept separate
   /// from Benchmarker::total_benchmark_ms (which only counts cache misses)
   /// so the §IV-B1 overhead accounting cannot under-report the replan path.
+  /// Atomic thin read; mirrored as ucudnn.planner.replan_benchmark_ms.
   double total_replan_benchmark_ms() const noexcept {
-    return total_replan_benchmark_ms_;
+    return total_replan_benchmark_ms_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -188,6 +193,8 @@ class Planner {
                              std::size_t limit);
   void note_wd_fallback(ConvKernelType type,
                         const kernels::ConvProblem& problem);
+  void charge_optimize_ms(double ms);
+  void charge_replan_benchmark_ms(double ms);
 
   mcudnn::Handle& handle_;
   Options& options_;
@@ -204,8 +211,10 @@ class Planner {
   // Warn-once ledger for WD "unrecorded kernel" fallbacks: first occurrence
   // per kernel logs, repeats only count (stats_.wd_unrecorded_fallbacks).
   std::map<std::string, std::uint64_t> wd_fallbacks_;
-  double total_optimize_ms_ = 0.0;
-  double total_replan_benchmark_ms_ = 0.0;
+  // Atomic: a handle shared across threads must not lose timing updates
+  // (the old plain doubles raced).
+  std::atomic<double> total_optimize_ms_{0.0};
+  std::atomic<double> total_replan_benchmark_ms_{0.0};
 };
 
 }  // namespace ucudnn::core

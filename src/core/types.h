@@ -81,6 +81,10 @@ std::vector<std::int64_t> candidate_micro_sizes(BatchSizePolicy policy,
 /// must never abort a training run). Owned by the UcudnnHandle facade, shared
 /// by reference with the Planner and the Executor, and logged at teardown
 /// next to the audit report.
+///
+/// The fields stay public (tests and reports read them per handle), but
+/// increments go through the count_* methods, which also mirror each event
+/// into the process-wide MetricsRegistry under ucudnn.degradation.*.
 struct DegradationStats {
   std::uint64_t retries = 0;                 // transient kernel failures retried
   std::uint64_t degraded_allocations = 0;    // workspace limits halved on OOM
@@ -88,6 +92,13 @@ struct DegradationStats {
   std::uint64_t solver_fallbacks = 0;        // ILP->DP and WD->WR fallbacks
   std::uint64_t cache_quarantines = 0;       // corrupt cache files quarantined
   std::uint64_t wd_unrecorded_fallbacks = 0; // WD misses routed to WR
+
+  void count_retry();
+  void count_degraded_allocation();
+  void count_blacklisted_algorithm();
+  void count_solver_fallback();
+  void count_cache_quarantine();
+  void count_wd_unrecorded_fallback();
 
   bool any() const noexcept {
     return retries != 0 || degraded_allocations != 0 ||

@@ -6,6 +6,7 @@
 
 #include "analysis/workspace_audit.h"
 #include "common/logging.h"
+#include "telemetry/metrics.h"
 
 namespace ucudnn::core {
 
@@ -87,13 +88,19 @@ void UcudnnHandle::init_cache_from_file() {
   // visible in the handle's degradation stats.
   const CacheLoadResult result =
       planner_.benchmarker().cache()->load_file(options_.cache_path);
-  if (result == CacheLoadResult::kQuarantined) ++stats_.cache_quarantines;
+  if (result == CacheLoadResult::kQuarantined) stats_.count_cache_quarantine();
 }
 
 UcudnnHandle::~UcudnnHandle() {
   if (analysis::workspace_audit_enabled()) analysis::log_audit_report();
   if (stats_.any()) {
     UCUDNN_LOG_WARN << "degradation stats: " << stats_.to_string();
+  }
+  if (telemetry::telemetry_enabled()) {
+    // One source of truth: the process-wide registry every per-handle
+    // counter mirrors into (docs/observability.md).
+    UCUDNN_LOG_INFO << "telemetry metrics snapshot:\n"
+                    << telemetry::MetricsRegistry::instance().to_text();
   }
   if (!options_.cache_path.empty()) {
     try {

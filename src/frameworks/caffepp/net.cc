@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/timer.h"
+#include "telemetry/trace.h"
 
 namespace ucudnn::caffepp {
 
@@ -185,7 +186,12 @@ void Net::forward() {
       !ctx_.handle.wd_finalized()) {
     ctx_.handle.finalize_wd();
   }
-  for (auto& layer : layers_) layer->forward(ctx_);
+  const telemetry::ScopedSpan span("net.forward", [&] { return name_; });
+  for (auto& layer : layers_) {
+    const telemetry::ScopedSpan layer_span("layer.forward",
+                                           [&] { return layer->name(); });
+    layer->forward(ctx_);
+  }
 }
 
 void Net::seed_top_diff() {
@@ -212,7 +218,10 @@ void Net::backward() {
     }
     seed_top_diff();
   }
+  const telemetry::ScopedSpan span("net.backward", [&] { return name_; });
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    const telemetry::ScopedSpan layer_span("layer.backward",
+                                           [&] { return (*it)->name(); });
     (*it)->backward(ctx_);
   }
 }

@@ -8,6 +8,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "gemm/gemm.h"
+#include "telemetry/trace.h"
 
 namespace ucudnn::tfmini {
 
@@ -622,7 +623,11 @@ void Session::run_forward() {
     register_conv_kernels();
     registered_kernels_ = true;
   }
+  const telemetry::ScopedSpan span("session.run_forward");
   for (int i = 0; i < static_cast<int>(graph_.ops().size()); ++i) {
+    const telemetry::ScopedSpan op_span("op.forward", [&] {
+      return graph_.ops()[static_cast<std::size_t>(i)].name;
+    });
     forward_op(i);
   }
 }
@@ -636,7 +641,11 @@ void Session::run_backward() {
     fill_constant(grad(last), buffers_.back().count,
                   1.0f / static_cast<float>(buffers_.back().count));
   }
+  const telemetry::ScopedSpan span("session.run_backward");
   for (int i = static_cast<int>(graph_.ops().size()); i-- > 0;) {
+    const telemetry::ScopedSpan op_span("op.backward", [&] {
+      return graph_.ops()[static_cast<std::size_t>(i)].name;
+    });
     backward_op(i);
   }
 }

@@ -7,6 +7,8 @@
 #include "common/fault_injection.h"
 #include "common/status.h"
 #include "common/timer.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace ucudnn::mcudnn {
 
@@ -92,6 +94,14 @@ double measure_algo_ms(ConvKernelType type, const kernels::ConvProblem& p,
 
 std::vector<AlgoPerf> find_algorithms(const Handle& handle, ConvKernelType type,
                                       const kernels::ConvProblem& p) {
+  const telemetry::ScopedSpan span("find_algorithms",
+                                   [&] { return p.to_string(); });
+  {
+    static telemetry::Counter calls =
+        telemetry::MetricsRegistry::instance().counter(
+            "ucudnn.mcudnn.find_algorithms");
+    calls.add(1);
+  }
   std::vector<AlgoPerf> results;
   results.reserve(static_cast<std::size_t>(kernels::algo_count(type)));
   for (int algo = 0; algo < kernels::algo_count(type); ++algo) {
@@ -202,6 +212,15 @@ void convolution(const Handle& handle, ConvKernelType type,
                  const kernels::ConvProblem& p, float alpha, const float* a,
                  const float* b, float beta, float* out, int algo,
                  void* workspace, std::size_t workspace_bytes) {
+  const telemetry::ScopedSpan span("mcudnn_conv", [&] {
+    return p.to_string() + " algo=" + std::to_string(algo);
+  });
+  {
+    static telemetry::Counter calls =
+        telemetry::MetricsRegistry::instance().counter(
+            "ucudnn.mcudnn.convolutions");
+    calls.add(1);
+  }
   check(kernels::algo_supported(type, algo, p), Status::kNotSupported,
         std::string(kernels::algo_name(type, algo)) + " unsupported for " +
             p.to_string());

@@ -1,0 +1,196 @@
+#include "telemetry/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+namespace ucudnn::telemetry {
+
+namespace {
+
+struct EnvConfig {
+  bool enabled = false;
+  std::string snapshot_path;  // empty when UCUDNN_TELEMETRY is boolean-ish
+};
+
+// std::getenv (not common/env.h): telemetry is a leaf and includes nothing
+// project-local.
+const EnvConfig& env_config() {
+  static const EnvConfig config = [] {
+    EnvConfig c;
+    if (const char* raw = std::getenv("UCUDNN_TELEMETRY");
+        raw != nullptr && raw[0] != '\0') {
+      if (std::strcmp(raw, "0") == 0 || std::strcmp(raw, "false") == 0 ||
+          std::strcmp(raw, "off") == 0 || std::strcmp(raw, "no") == 0) {
+        c.enabled = false;
+      } else {
+        c.enabled = true;
+        if (std::strcmp(raw, "1") != 0 && std::strcmp(raw, "true") != 0 &&
+            std::strcmp(raw, "on") != 0 && std::strcmp(raw, "yes") != 0) {
+          c.snapshot_path = raw;
+        }
+      }
+    }
+    if (const char* trace = std::getenv("UCUDNN_TRACE_FILE");
+        trace != nullptr && trace[0] != '\0') {
+      c.enabled = true;
+    }
+    return c;
+  }();
+  return config;
+}
+
+}  // namespace
+
+bool telemetry_enabled() noexcept { return kCompiledIn && env_config().enabled; }
+
+const std::string& metrics_snapshot_path() noexcept {
+  return env_config().snapshot_path;
+}
+
+double histogram_bucket_upper_ms(int i) noexcept {
+  if (i < 0) return 0.0;
+  if (i >= kHistogramBuckets - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return 1e-3 * std::pow(10.0, i);
+}
+
+void Histogram::observe_ms(double ms) noexcept {
+  if (!kCompiledIn || cells_ == nullptr) return;
+  int bucket = kHistogramBuckets - 1;
+  for (int i = 0; i < kHistogramBuckets - 1; ++i) {
+    if (ms <= histogram_bucket_upper_ms(i)) {
+      bucket = i;
+      break;
+    }
+  }
+  cells_->buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  cells_->count.fetch_add(1, std::memory_order_relaxed);
+  cells_->sum_ms.fetch_add(ms, std::memory_order_relaxed);
+}
+
+HistogramData Histogram::data() const noexcept {
+  HistogramData d;
+  if (!kCompiledIn || cells_ == nullptr) return d;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    d.buckets[i] = cells_->buckets[i].load(std::memory_order_relaxed);
+  }
+  d.count = cells_->count.load(std::memory_order_relaxed);
+  d.sum_ms = cells_->sum_ms.load(std::memory_order_relaxed);
+  return d;
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::MetricsRegistry() {
+  if (telemetry_enabled()) exit_snapshot_path_ = metrics_snapshot_path();
+}
+
+MetricsRegistry::~MetricsRegistry() {
+  // Exit-time plain-text export, gated by UCUDNN_TELEMETRY=<path>. stdio
+  // only: iostreams may already be torn down during static destruction.
+  if (exit_snapshot_path_.empty()) return;
+  if (std::FILE* f = std::fopen(exit_snapshot_path_.c_str(), "w")) {
+    const std::string text = to_text();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+  }
+}
+
+Counter MetricsRegistry::counter(const std::string& name) {
+  if (!kCompiledIn) return Counter();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& cell = counters_[name];
+  if (!cell) cell = std::make_unique<std::atomic<std::uint64_t>>(0);
+  return Counter(cell.get());
+}
+
+DoubleCounter MetricsRegistry::double_counter(const std::string& name) {
+  if (!kCompiledIn) return DoubleCounter();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& cell = double_counters_[name];
+  if (!cell) cell = std::make_unique<std::atomic<double>>(0.0);
+  return DoubleCounter(cell.get());
+}
+
+Gauge MetricsRegistry::gauge(const std::string& name) {
+  if (!kCompiledIn) return Gauge();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& cell = gauges_[name];
+  if (!cell) cell = std::make_unique<std::atomic<std::int64_t>>(0);
+  return Gauge(cell.get());
+}
+
+Histogram MetricsRegistry::histogram(const std::string& name) {
+  if (!kCompiledIn) return Histogram();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& cells = histograms_[name];
+  if (!cells) cells = std::make_unique<Histogram::Cells>();
+  return Histogram(cells.get());
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, cell] : counters_) {
+    snap.counters[name] = cell->load(std::memory_order_relaxed);
+  }
+  for (const auto& [name, cell] : double_counters_) {
+    snap.double_counters[name] = cell->load(std::memory_order_relaxed);
+  }
+  for (const auto& [name, cell] : gauges_) {
+    snap.gauges[name] = cell->load(std::memory_order_relaxed);
+  }
+  for (const auto& [name, cells] : histograms_) {
+    snap.histograms[name] = Histogram(cells.get()).data();
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::to_text() const {
+  const MetricsSnapshot snap = snapshot();
+  std::ostringstream os;
+  os.precision(17);
+  for (const auto& [name, value] : snap.counters) {
+    os << name << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snap.double_counters) {
+    os << name << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    os << name << " " << value << "\n";
+  }
+  for (const auto& [name, data] : snap.histograms) {
+    os << name << ".count " << data.count << "\n";
+    os << name << ".sum_ms " << data.sum_ms << "\n";
+    for (int i = 0; i < kHistogramBuckets; ++i) {
+      // %g keeps the decade bounds readable ("0.1", not the full 17-digit
+      // round-trip form the value stream uses).
+      char bound[32];
+      std::snprintf(bound, sizeof(bound), "%g", histogram_bucket_upper_ms(i));
+      os << name << ".le_" << bound << "ms " << data.buckets[i] << "\n";
+    }
+  }
+  return os.str();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, cell] : counters_) cell->store(0);
+  for (auto& [name, cell] : double_counters_) cell->store(0.0);
+  for (auto& [name, cell] : gauges_) cell->store(0);
+  for (auto& [name, cells] : histograms_) {
+    for (auto& bucket : cells->buckets) bucket.store(0);
+    cells->count.store(0);
+    cells->sum_ms.store(0.0);
+  }
+}
+
+}  // namespace ucudnn::telemetry

@@ -1,0 +1,166 @@
+// Process-wide metrics registry: named atomic counters, gauges, and
+// fixed-bucket latency histograms, cheap enough for hot paths. Handles are
+// value types wrapping a registry-owned cell; creating one takes a lock,
+// updating one is a single relaxed atomic RMW. See docs/observability.md for
+// the naming scheme and the catalog of metrics the library emits.
+//
+// Layering contract (tools/check_layering.py): telemetry is a leaf — every
+// library may include it, it includes nothing project-local. Environment
+// gating (UCUDNN_TELEMETRY) is therefore read with std::getenv directly.
+//
+// Defining UCUDNN_DISABLE_TELEMETRY compiles every handle operation to a
+// no-op and empties the registry.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace ucudnn::telemetry {
+
+#ifdef UCUDNN_DISABLE_TELEMETRY
+inline constexpr bool kCompiledIn = false;
+#else
+inline constexpr bool kCompiledIn = true;
+#endif
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  Counter() = default;
+  void add(std::uint64_t n = 1) noexcept {
+    if (kCompiledIn && cell_) cell_->fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return kCompiledIn && cell_ ? cell_->load(std::memory_order_relaxed) : 0;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::atomic<std::uint64_t>* cell) : cell_(cell) {}
+  std::atomic<std::uint64_t>* cell_ = nullptr;
+};
+
+/// Monotonic accumulator for wall-clock totals (milliseconds).
+class DoubleCounter {
+ public:
+  DoubleCounter() = default;
+  void add(double v) noexcept {
+    if (kCompiledIn && cell_) cell_->fetch_add(v, std::memory_order_relaxed);
+  }
+  double value() const noexcept {
+    return kCompiledIn && cell_ ? cell_->load(std::memory_order_relaxed) : 0.0;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit DoubleCounter(std::atomic<double>* cell) : cell_(cell) {}
+  std::atomic<double>* cell_ = nullptr;
+};
+
+/// Last-writer-wins level (also supports relative adjustment).
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(std::int64_t v) noexcept {
+    if (kCompiledIn && cell_) cell_->store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t v) noexcept {
+    if (kCompiledIn && cell_) cell_->fetch_add(v, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return kCompiledIn && cell_ ? cell_->load(std::memory_order_relaxed) : 0;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::atomic<std::int64_t>* cell) : cell_(cell) {}
+  std::atomic<std::int64_t>* cell_ = nullptr;
+};
+
+/// Fixed decade buckets for millisecond latencies: the i-th bucket counts
+/// observations <= 1e-3 * 10^i ms (1us, 10us, ... 10s), the last is +inf.
+inline constexpr int kHistogramBuckets = 9;
+
+/// Upper bound of bucket `i` in ms; +inf for the overflow bucket.
+double histogram_bucket_upper_ms(int i) noexcept;
+
+struct HistogramData {
+  std::uint64_t buckets[kHistogramBuckets] = {};
+  std::uint64_t count = 0;
+  double sum_ms = 0.0;
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe_ms(double ms) noexcept;
+  HistogramData data() const noexcept;
+
+ private:
+  friend class MetricsRegistry;
+  struct Cells {
+    std::atomic<std::uint64_t> buckets[kHistogramBuckets] = {};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum_ms{0.0};
+  };
+  explicit Histogram(Cells* cells) : cells_(cells) {}
+  Cells* cells_ = nullptr;
+};
+
+/// Point-in-time copy of every registered metric.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> double_counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramData> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  /// Handle factories: idempotent per name, safe from any thread.
+  Counter counter(const std::string& name);
+  DoubleCounter double_counter(const std::string& name);
+  Gauge gauge(const std::string& name);
+  Histogram histogram(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+  /// Plain-text form, one "name value" line per metric, sorted by name.
+  std::string to_text() const;
+  /// Zeroes every cell; existing handles stay valid. Intended for tests
+  /// that need a clean process-wide baseline.
+  void reset();
+
+ private:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Captured at construction: the destructor must not call back into the
+  // env-config function-local static, which — depending on which singleton
+  // was touched first — may already be destroyed during static teardown.
+  std::string exit_snapshot_path_;
+
+  mutable std::mutex mutex_;
+  // Node-based maps: cell addresses are stable for the registry's lifetime.
+  std::map<std::string, std::unique_ptr<std::atomic<std::uint64_t>>> counters_;
+  std::map<std::string, std::unique_ptr<std::atomic<double>>> double_counters_;
+  std::map<std::string, std::unique_ptr<std::atomic<std::int64_t>>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram::Cells>> histograms_;
+};
+
+/// True when UCUDNN_TELEMETRY is set truthy (or to a snapshot path) or
+/// UCUDNN_TRACE_FILE names a trace output file. Read once per process.
+bool telemetry_enabled() noexcept;
+
+/// The file path form of UCUDNN_TELEMETRY ("" when unset or boolean): the
+/// registry writes its plain-text snapshot there at process exit.
+const std::string& metrics_snapshot_path() noexcept;
+
+}  // namespace ucudnn::telemetry

@@ -1,0 +1,166 @@
+#include "telemetry/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace ucudnn::telemetry {
+
+namespace {
+
+std::int64_t steady_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Per-thread nesting depth of active spans.
+thread_local std::uint32_t t_span_depth = 0;
+
+void append_json_escaped(std::string& out, const std::string& text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::instance() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+TraceRecorder::TraceRecorder() : epoch_ns_(steady_ns()) {
+  // std::getenv, not common/env.h: telemetry is a leaf.
+  if (const char* path = std::getenv("UCUDNN_TRACE_FILE");
+      path != nullptr && path[0] != '\0') {
+    trace_path_ = path;
+  }
+  set_enabled(!trace_path_.empty() || telemetry_enabled());
+}
+
+TraceRecorder::~TraceRecorder() {
+  if (trace_path_.empty()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.empty()) return;
+  // Inline (rather than via write_chrome_trace) to avoid re-locking; stdio
+  // only, since iostreams may already be torn down at static destruction.
+  if (std::FILE* f = std::fopen(trace_path_.c_str(), "w")) {
+    std::string json = "{\"traceEvents\":[";
+    bool first = true;
+    for (const SpanEvent& e : events_) {
+      if (!first) json += ",";
+      first = false;
+      json += "\n{\"name\":\"";
+      append_json_escaped(json, e.name);
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "\",\"cat\":\"ucudnn\",\"ph\":\"X\",\"ts\":%.3f,"
+                    "\"dur\":%.3f,\"pid\":1,\"tid\":%u,\"args\":{\"depth\":%u",
+                    e.ts_us, e.dur_us, e.tid, e.depth);
+      json += buf;
+      if (!e.detail.empty()) {
+        json += ",\"detail\":\"";
+        append_json_escaped(json, e.detail);
+        json += "\"";
+      }
+      json += "}}";
+    }
+    json += "\n]}\n";
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+  }
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+std::vector<SpanEvent> TraceRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::string TraceRecorder::to_json() const {
+  const std::vector<SpanEvent> copy = events();
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanEvent& e : copy) {
+    if (!first) os << ",";
+    first = false;
+    std::string name, detail;
+    append_json_escaped(name, e.name);
+    append_json_escaped(detail, e.detail);
+    os << "\n{\"name\":\"" << name << "\",\"cat\":\"ucudnn\",\"ph\":\"X\""
+       << ",\"ts\":" << e.ts_us << ",\"dur\":" << e.dur_us
+       << ",\"pid\":1,\"tid\":" << e.tid << ",\"args\":{\"depth\":" << e.depth;
+    if (!detail.empty()) os << ",\"detail\":\"" << detail << "\"";
+    os << "}}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+void TraceRecorder::write_chrome_trace(const std::string& path) const {
+  const std::string json = to_json();
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+  }
+}
+
+void TraceRecorder::record(SpanEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+double TraceRecorder::now_us() const noexcept {
+  return static_cast<double>(steady_ns() - epoch_ns_) * 1e-3;
+}
+
+std::uint32_t TraceRecorder::thread_ordinal() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+void ScopedSpan::open(const char* name) noexcept {
+  name_ = name;
+  start_us_ = TraceRecorder::instance().now_us();
+  depth_ = t_span_depth++;
+}
+
+void ScopedSpan::close() noexcept {
+  --t_span_depth;
+  TraceRecorder& recorder = TraceRecorder::instance();
+  // A span that outlived a set_enabled(false) still records: depth
+  // accounting stays balanced either way because open/close pair on name_.
+  SpanEvent event;
+  event.name = name_;
+  event.detail = std::move(detail_);
+  event.ts_us = start_us_;
+  event.dur_us = recorder.now_us() - start_us_;
+  event.tid = TraceRecorder::thread_ordinal();
+  event.depth = depth_;
+  recorder.record(std::move(event));
+}
+
+}  // namespace ucudnn::telemetry

@@ -1,0 +1,113 @@
+// Scoped trace spans with thread ids and nesting, exportable as Chrome
+// chrome://tracing JSON ("traceEvents" with ph:"X" complete events). The
+// span catalog lives in docs/observability.md.
+//
+// Recording is gated by a single relaxed atomic (the FaultInjector::armed
+// idiom): a disabled ScopedSpan costs one load and allocates nothing — the
+// detail callback of the two-argument constructor is never invoked. Enable
+// via UCUDNN_TRACE_FILE=<path> (written at process exit), UCUDNN_TELEMETRY,
+// or programmatically with TraceRecorder::set_enabled for tests.
+//
+// Layering contract (tools/check_layering.py): telemetry is a leaf — it may
+// include only other telemetry headers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/metrics.h"
+
+namespace ucudnn::telemetry {
+
+/// One completed span. Timestamps are microseconds on the steady clock,
+/// relative to the recorder's construction.
+struct SpanEvent {
+  std::string name;    // catalog name, e.g. "segment_exec"
+  std::string detail;  // free-form annotation ("" = none)
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  std::uint32_t tid = 0;    // compact per-process thread ordinal
+  std::uint32_t depth = 0;  // nesting depth on that thread (0 = top level)
+};
+
+class TraceRecorder {
+ public:
+  static TraceRecorder& instance();
+
+  bool enabled() const noexcept {
+    return kCompiledIn && enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) noexcept {
+    enabled_.store(kCompiledIn && on, std::memory_order_relaxed);
+  }
+
+  void clear();
+  std::vector<SpanEvent> events() const;
+
+  /// Chrome trace-event JSON: {"traceEvents":[...]}.
+  std::string to_json() const;
+  void write_chrome_trace(const std::string& path) const;
+
+  /// Appends a completed span (called by ScopedSpan).
+  void record(SpanEvent event);
+
+  /// Microseconds since the recorder's epoch.
+  double now_us() const noexcept;
+  /// Compact ordinal of the calling thread (stable for its lifetime).
+  static std::uint32_t thread_ordinal() noexcept;
+
+ private:
+  TraceRecorder();
+  ~TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  std::atomic<bool> enabled_{false};
+  std::string trace_path_;  // UCUDNN_TRACE_FILE; written at destruction
+  std::int64_t epoch_ns_ = 0;
+  mutable std::mutex mutex_;
+  std::vector<SpanEvent> events_;
+};
+
+/// RAII span. When the recorder is disabled the constructor is a single
+/// relaxed load and the destructor a null check; nothing is allocated and
+/// the detail callback is not invoked.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) noexcept {
+    if (kCompiledIn && TraceRecorder::instance().enabled()) open(name);
+  }
+
+  /// `detail_fn() -> std::string` is evaluated only when recording.
+  template <typename DetailFn>
+  ScopedSpan(const char* name, DetailFn&& detail_fn) {
+    if (kCompiledIn && TraceRecorder::instance().enabled()) {
+      open(name);
+      detail_ = std::forward<DetailFn>(detail_fn)();
+    }
+  }
+
+  ~ScopedSpan() {
+    if (name_ != nullptr) close();
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool active() const noexcept { return name_ != nullptr; }
+
+ private:
+  void open(const char* name) noexcept;
+  void close() noexcept;
+
+  const char* name_ = nullptr;  // nullptr = inactive
+  std::string detail_;
+  double start_us_ = 0.0;
+  std::uint32_t depth_ = 0;
+};
+
+}  // namespace ucudnn::telemetry

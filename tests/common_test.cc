@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "common/aligned_buffer.h"
@@ -197,6 +198,35 @@ TEST(ThreadPoolTest, ParallelForEachHelper) {
   std::vector<std::atomic<int>> hits(257);
   parallel_for_each(257, [&](std::int64_t i) { hits[i].fetch_add(1); });
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForStateLifetimeStress) {
+  // Regression (TSan target): the completion notification used to decrement
+  // `remaining` before locking `done_mutex`; a spuriously woken waiter could
+  // observe zero, return, and destroy the stack-local State while the last
+  // worker was still about to lock it. Churn through many short parallel_for
+  // calls — each constructs and destroys a State — from several caller
+  // threads so the destroy/notify window is hit as often as possible.
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> total{0};
+  constexpr int kCallers = 4;
+  constexpr int kIterations = 500;
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&] {
+      for (int iter = 0; iter < kIterations; ++iter) {
+        pool.parallel_for(
+            16,
+            [&](std::int64_t begin, std::int64_t end, std::size_t) {
+              total.fetch_add(end - begin);
+            },
+            /*min_chunk=*/1);
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(total.load(), std::int64_t{kCallers} * kIterations * 16);
 }
 
 TEST(ThreadPoolTest, MinChunkLimitsSplitGranularity) {

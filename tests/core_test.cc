@@ -5,11 +5,13 @@
 // execution, virtual-mode timing, workspace accounting).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <set>
 
 #include "core/benchmark_cache.h"
 #include "core/benchmarker.h"
@@ -121,6 +123,144 @@ TEST(BenchmarkerTest, ParallelDevicesAgreeWithSingle) {
     for (std::size_t j = 0; j < a.perfs[i].size(); ++j) {
       EXPECT_EQ(a.perfs[i][j].algo, b.perfs[i][j].algo);
       EXPECT_DOUBLE_EQ(a.perfs[i][j].time_ms, b.perfs[i][j].time_ms);
+    }
+  }
+}
+
+TEST(BenchmarkerTest, HeterogeneousDevicesKeyResultsByMeasuringDevice) {
+  // Regression: all cache traffic used to be keyed by handles_[0]'s device
+  // name, so with a heterogeneous handle set the results measured on device
+  // w landed under device 0's name — and later runs on either model silently
+  // reused the other model's timings.
+  auto k80 = std::make_shared<device::Device>(device::k80_spec());
+  std::vector<mcudnn::Handle> handles;
+  handles.emplace_back(p100());
+  handles.emplace_back(k80);
+  auto cache = std::make_shared<BenchmarkCache>();
+  Benchmarker hetero(std::move(handles), cache);
+  const ConvProblem p = small_problem(8);
+  const auto table =
+      hetero.run(ConvKernelType::kForward, p, BatchSizePolicy::kPowerOfTwo);
+  ASSERT_EQ(table.sizes.size(), 4u);  // 1, 2, 4, 8
+
+  const std::string p100_name = device::p100_sxm2_spec().name;
+  const std::string k80_name = device::k80_spec().name;
+  // Candidate i is measured (round-robin) on handle i % 2 and must be cached
+  // under that handle's device name only.
+  for (std::size_t i = 0; i < table.sizes.size(); ++i) {
+    const std::string& measuring = i % 2 == 0 ? p100_name : k80_name;
+    const std::string& other = i % 2 == 0 ? k80_name : p100_name;
+    EXPECT_TRUE(cache
+                    ->lookup(measuring, ConvKernelType::kForward, p,
+                             table.sizes[i])
+                    .has_value())
+        << "size " << table.sizes[i];
+    EXPECT_FALSE(
+        cache->lookup(other, ConvKernelType::kForward, p, table.sizes[i])
+            .has_value())
+        << "size " << table.sizes[i];
+  }
+
+  // The K80-measured candidates must carry genuine K80 timings.
+  Benchmarker k80_only({mcudnn::Handle(k80)},
+                       std::make_shared<BenchmarkCache>());
+  const auto reference =
+      k80_only.run(ConvKernelType::kForward, p, BatchSizePolicy::kPowerOfTwo);
+  for (std::size_t i = 1; i < table.sizes.size(); i += 2) {
+    ASSERT_EQ(table.perfs[i].size(), reference.perfs[i].size());
+    for (std::size_t j = 0; j < table.perfs[i].size(); ++j) {
+      EXPECT_EQ(table.perfs[i][j].algo, reference.perfs[i][j].algo);
+      EXPECT_DOUBLE_EQ(table.perfs[i][j].time_ms,
+                       reference.perfs[i][j].time_ms);
+    }
+  }
+}
+
+TEST(BenchmarkerTest, HeterogeneousBlacklistFiltersPerDevice) {
+  // Companion regression: the blacklist filter must also be keyed by the
+  // measuring device. A blacklist entry for the K80 must drop the algorithm
+  // from K80-measured candidates only, never from the P100-measured ones.
+  const ConvProblem p = small_problem(8);
+  auto p100_dev = p100();
+  auto k80_dev = std::make_shared<device::Device>(device::k80_spec());
+
+  // Pick an algorithm supported at every candidate size on both models.
+  Benchmarker p100_ref({mcudnn::Handle(p100_dev)},
+                       std::make_shared<BenchmarkCache>());
+  Benchmarker k80_ref({mcudnn::Handle(k80_dev)},
+                      std::make_shared<BenchmarkCache>());
+  const auto ref_a =
+      p100_ref.run(ConvKernelType::kForward, p, BatchSizePolicy::kPowerOfTwo);
+  const auto ref_b =
+      k80_ref.run(ConvKernelType::kForward, p, BatchSizePolicy::kPowerOfTwo);
+  const auto supported_everywhere = [&](int algo) {
+    for (const auto* table : {&ref_a, &ref_b}) {
+      for (const auto& perfs : table->perfs) {
+        if (std::none_of(
+                perfs.begin(), perfs.end(),
+                [&](const mcudnn::AlgoPerf& perf) { return perf.algo == algo; }))
+          return false;
+      }
+    }
+    return true;
+  };
+  int victim = -1;
+  for (const auto& perf : ref_a.perfs[0]) {
+    if (supported_everywhere(perf.algo)) {
+      victim = perf.algo;
+      break;
+    }
+  }
+  ASSERT_NE(victim, -1) << "no algorithm common to all sizes on both models";
+
+  auto cache = std::make_shared<BenchmarkCache>();
+  cache->blacklist(device::k80_spec().name, ConvKernelType::kForward, victim);
+  std::vector<mcudnn::Handle> handles;
+  handles.emplace_back(p100_dev);
+  handles.emplace_back(k80_dev);
+  Benchmarker hetero(std::move(handles), cache);
+  const auto table =
+      hetero.run(ConvKernelType::kForward, p, BatchSizePolicy::kPowerOfTwo);
+  for (std::size_t i = 0; i < table.sizes.size(); ++i) {
+    const bool has_victim = std::any_of(
+        table.perfs[i].begin(), table.perfs[i].end(),
+        [&](const mcudnn::AlgoPerf& perf) { return perf.algo == victim; });
+    if (i % 2 == 0) {
+      EXPECT_TRUE(has_victim) << "P100-measured size " << table.sizes[i];
+    } else {
+      EXPECT_FALSE(has_victim) << "K80-measured size " << table.sizes[i];
+    }
+  }
+}
+
+TEST(BenchmarkerTest, FullyBlacklistedCacheHitRebenchmarks) {
+  // Regression: when the blacklist filtered a cached entry down to nothing,
+  // lookup() used to return the empty vector — a "hit" claiming the problem
+  // supports no algorithms at all — and run() handed that empty table to the
+  // optimizer. Such a hit must degrade to a miss and re-benchmark instead.
+  const ConvProblem p = small_problem(8);
+  Benchmarker fresh = make_benchmarker();
+  const auto full =
+      fresh.run(ConvKernelType::kForward, p, BatchSizePolicy::kPowerOfTwo);
+
+  const std::string device = device::p100_sxm2_spec().name;
+  auto cache = std::make_shared<BenchmarkCache>();
+  std::set<int> blacklisted;
+  for (std::size_t i = 0; i < full.sizes.size(); ++i) {
+    ASSERT_GT(full.perfs[i].size(), 1u);  // re-benchmarking must find others
+    cache->store(device, ConvKernelType::kForward, p, full.sizes[i],
+                 {full.perfs[i][0]});
+    cache->blacklist(device, ConvKernelType::kForward, full.perfs[i][0].algo);
+    blacklisted.insert(full.perfs[i][0].algo);
+  }
+
+  Benchmarker bench({mcudnn::Handle(p100())}, cache);
+  const auto table =
+      bench.run(ConvKernelType::kForward, p, BatchSizePolicy::kPowerOfTwo);
+  for (std::size_t i = 0; i < table.sizes.size(); ++i) {
+    EXPECT_FALSE(table.perfs[i].empty()) << "size " << table.sizes[i];
+    for (const auto& perf : table.perfs[i]) {
+      EXPECT_EQ(blacklisted.count(perf.algo), 0u) << "algo " << perf.algo;
     }
   }
 }
@@ -408,11 +548,35 @@ TEST(BenchmarkCacheTest, MissingFileIgnoredMalformedQuarantined) {
   EXPECT_FALSE(std::filesystem::exists(path));
   EXPECT_TRUE(std::filesystem::exists(path + ".corrupt"));
   std::remove((path + ".corrupt").c_str());
+
+  // A well-formed line whose value field carries trailing garbage is
+  // corruption too — it must quarantine, not load a truncated entry.
+  {
+    std::ofstream out(path);
+    out << "somekey\t0:0:1.5:64junk\n";
+  }
+  EXPECT_EQ(cache.load_file(path), CacheLoadResult::kQuarantined);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_TRUE(std::filesystem::exists(path + ".corrupt"));
+  std::remove((path + ".corrupt").c_str());
 }
 
 TEST(BenchmarkCacheTest, EncodeDecodeEmpty) {
   EXPECT_TRUE(BenchmarkCache::decode_perfs("").empty());
   EXPECT_EQ(BenchmarkCache::encode_perfs({}), "");
+}
+
+TEST(BenchmarkCacheTest, DecodeRejectsTrailingGarbage) {
+  // Regression: operator>> stops at the first non-numeric byte without
+  // setting failbit, so "64junk" used to decode as memory=64 with the junk
+  // silently dropped — a damaged entry loaded as if it were intact.
+  const auto one = BenchmarkCache::decode_perfs("0:0:1.5:64");
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].memory, 64u);
+  EXPECT_EQ(BenchmarkCache::decode_perfs("3:0:1.25:4096,1:0:2.5:0").size(), 2u);
+  EXPECT_THROW(BenchmarkCache::decode_perfs("0:0:1.5:64junk"), Error);
+  EXPECT_THROW(BenchmarkCache::decode_perfs("0:0:1.5:64 "), Error);
+  EXPECT_THROW(BenchmarkCache::decode_perfs("0:0:1.5junk:64"), Error);
 }
 
 // ------------------------------------------------------------------ options

@@ -1,0 +1,297 @@
+// End-to-end telemetry tests: run a small caffepp net with tracing on,
+// validate that the exported Chrome trace is well-formed JSON carrying the
+// expected span catalog, and that the process-wide metrics registry mirrors
+// every legacy per-handle accessor.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "core/ucudnn.h"
+#include "frameworks/caffepp/net.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace ucudnn {
+namespace {
+
+std::shared_ptr<device::Device> cpu() {
+  return std::make_shared<device::Device>(device::host_cpu_spec());
+}
+
+core::Options wr(std::size_t limit) {
+  core::Options opts;
+  opts.batch_size_policy = core::BatchSizePolicy::kPowerOfTwo;
+  opts.workspace_limit = limit;
+  return opts;
+}
+
+void run_small_net(core::UcudnnHandle& handle) {
+  caffepp::Net net(handle, "telemetry-itest", caffepp::NetOptions{1 << 20, true});
+  net.input("data", {6, 3, 14, 14});
+  std::string top = net.conv("c1", "data", 8, 3, 1, 1);
+  top = net.relu("r1", top);
+  top = net.conv("c2", top, 8, 3, 1, 1);
+  top = net.pool_max("p1", top, 2, 2);
+  top = net.fc("f1", top, 10);
+  top = net.softmax_loss("loss", top);
+  net.init(99);
+  net.forward();
+  net.backward();
+}
+
+// Minimal recursive-descent JSON validator: accepts exactly the JSON grammar
+// (objects, arrays, strings with escapes, numbers, true/false/null). Returns
+// false on the first syntax error. Enough to prove the exported trace would
+// load in chrome://tracing without dragging in a JSON library.
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : text_(text) {}
+
+  bool validate() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();  // trailing garbage is a failure
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // bare control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (std::string("\"\\/bfnrt").find(esc) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!digit()) return false;
+    while (digit()) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      if (!digit()) return false;
+      while (digit()) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!digit()) return false;
+      while (digit()) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  bool digit() {
+    return pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]));
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+std::uint64_t counter_or_zero(const telemetry::MetricsSnapshot& snap,
+                              const std::string& name) {
+  const auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
+}
+
+double double_counter_or_zero(const telemetry::MetricsSnapshot& snap,
+                              const std::string& name) {
+  const auto it = snap.double_counters.find(name);
+  return it == snap.double_counters.end() ? 0.0 : it->second;
+}
+
+TEST(TelemetryIntegrationTest, TraceIsValidJsonWithExpectedSpans) {
+  telemetry::TraceRecorder& recorder = telemetry::TraceRecorder::instance();
+  recorder.set_enabled(true);
+  recorder.clear();
+  {
+    core::UcudnnHandle handle(cpu(), wr(1 << 20));
+    run_small_net(handle);
+  }
+  recorder.set_enabled(false);
+
+  // Every stage of the WR pipeline plus both framework levels must appear.
+  std::set<std::string> names;
+  for (const auto& event : recorder.events()) names.insert(event.name);
+  for (const char* expected :
+       {"benchmark", "wr_dp", "plan_build", "segment_exec", "find_algorithms",
+        "mcudnn_conv", "net.forward", "net.backward", "layer.forward",
+        "layer.backward"}) {
+    EXPECT_TRUE(names.count(expected)) << "missing span: " << expected;
+  }
+
+  const std::string json = recorder.to_json();
+  EXPECT_TRUE(JsonValidator(json).validate()) << "trace JSON is malformed";
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"benchmark\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"plan_build\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"segment_exec\""), std::string::npos);
+  recorder.clear();
+}
+
+TEST(TelemetryIntegrationTest, WriteChromeTraceRoundTripsThroughAFile) {
+  telemetry::TraceRecorder& recorder = telemetry::TraceRecorder::instance();
+  recorder.set_enabled(true);
+  recorder.clear();
+  {
+    core::UcudnnHandle handle(cpu(), wr(1 << 20));
+    run_small_net(handle);
+  }
+  recorder.set_enabled(false);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ucudnn_trace_test.json")
+          .string();
+  recorder.write_chrome_trace(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(static_cast<bool>(in));
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_TRUE(JsonValidator(json).validate()) << "trace file is malformed";
+  EXPECT_NE(json.find("\"cat\":\"ucudnn\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  std::remove(path.c_str());
+  recorder.clear();
+}
+
+TEST(TelemetryIntegrationTest, RegistryMirrorsLegacyAccessors) {
+  // One source of truth: after a clean baseline, every pre-existing
+  // per-handle counter must be readable from the process-wide registry with
+  // the same value the legacy accessor reports.
+  telemetry::MetricsRegistry::instance().reset();
+  core::UcudnnHandle handle(cpu(), wr(1 << 20));
+  run_small_net(handle);
+
+  const telemetry::MetricsSnapshot snap =
+      telemetry::MetricsRegistry::instance().snapshot();
+
+  EXPECT_DOUBLE_EQ(double_counter_or_zero(snap, "ucudnn.benchmark.total_ms"),
+                   handle.total_benchmark_ms());
+  EXPECT_DOUBLE_EQ(double_counter_or_zero(snap, "ucudnn.planner.optimize_ms"),
+                   handle.total_optimize_ms());
+  EXPECT_DOUBLE_EQ(
+      double_counter_or_zero(snap, "ucudnn.planner.replan_benchmark_ms"),
+      handle.total_replan_benchmark_ms());
+
+  EXPECT_EQ(counter_or_zero(snap, "ucudnn.plan_cache.hits"),
+            handle.plan_cache().hits());
+  EXPECT_EQ(counter_or_zero(snap, "ucudnn.plan_cache.misses"),
+            handle.plan_cache().misses());
+
+  const core::DegradationStats& stats = handle.degradation_stats();
+  EXPECT_EQ(counter_or_zero(snap, "ucudnn.degradation.retries"),
+            stats.retries);
+  EXPECT_EQ(counter_or_zero(snap, "ucudnn.degradation.degraded_allocations"),
+            stats.degraded_allocations);
+  EXPECT_EQ(counter_or_zero(snap, "ucudnn.degradation.blacklisted_algorithms"),
+            stats.blacklisted_algorithms);
+  EXPECT_EQ(counter_or_zero(snap, "ucudnn.degradation.solver_fallbacks"),
+            stats.solver_fallbacks);
+  EXPECT_EQ(counter_or_zero(snap, "ucudnn.degradation.cache_quarantines"),
+            stats.cache_quarantines);
+  EXPECT_EQ(
+      counter_or_zero(snap, "ucudnn.degradation.wd_unrecorded_fallbacks"),
+      stats.wd_unrecorded_fallbacks);
+
+  // The run exercised benchmarking and execution, so the headline metrics
+  // must be non-trivial, not merely equal-and-zero.
+  EXPECT_GT(counter_or_zero(snap, "ucudnn.benchmark.runs"), 0u);
+  EXPECT_GT(counter_or_zero(snap, "ucudnn.executor.segments"), 0u);
+  EXPECT_GT(handle.total_benchmark_ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace ucudnn

@@ -17,6 +17,10 @@ here:
      core/ucudnn.h (the planner hands plans down, never calls up).
   4. src/frameworks/** must not include mcudnn/ headers directly — all
      convolution traffic goes through the core/ucudnn.h facade.
+  5. src/telemetry/** is a leaf: every library may include it, but its own
+     quoted includes must stay inside telemetry/ (system headers via <> are
+     fine). Instrumentation must never create a cycle back into the layers
+     it observes.
 
 Usage:  check_layering.py [--self-test] [ROOT]
 
@@ -32,7 +36,12 @@ from pathlib import Path
 
 SUPPRESS = "layering: allow"
 
-INCLUDE = re.compile(r'^\s*#\s*include\s*["<]([^">]+)[">]', re.MULTILINE)
+INCLUDE = re.compile(r'^\s*#\s*include\s*(["<])([^">]+)[">]', re.MULTILINE)
+
+# The telemetry leaf rule is an allowlist, not a forbidden-prefix list: any
+# quoted (project-local) include from src/telemetry must itself be a
+# telemetry/ header. Angle includes are system headers and always allowed.
+TELEMETRY_LEAF = re.compile(r"^src/telemetry/.+\.(h|cc)$")
 
 # (file-selector, forbidden-include prefixes, rationale) — selectors are
 # matched against the path relative to ROOT, with / separators.
@@ -101,16 +110,24 @@ def check_text(rel: str, raw: str) -> list[str]:
     """Returns findings for one file's contents (rel is the ROOT-relative
     path with / separators)."""
     rules = [r for r in RULES if r[0].match(rel)]
-    if not rules:
+    leaf = TELEMETRY_LEAF.match(rel) is not None
+    if not rules and not leaf:
         return []
     clean = strip_comments_and_strings(raw)
     raw_lines = raw.splitlines()
     findings = []
     for match in INCLUDE.finditer(clean):
-        header = match.group(1)
+        delim = match.group(1)
+        header = match.group(2)
         line = line_of(clean, match.start())
         if suppressed(raw_lines, line):
             continue
+        if leaf and delim == '"' and not header.startswith("telemetry/"):
+            findings.append(
+                f"{rel}:{line}: layering: {rel} must not include "
+                f'"{header}" (telemetry is a leaf: only telemetry/ and '
+                "system headers)"
+            )
         for _, forbidden, why in rules:
             for prefix in forbidden:
                 if header == prefix or header.startswith(prefix):
@@ -123,7 +140,7 @@ def check_text(rel: str, raw: str) -> list[str]:
 
 def scan_tree(root: Path) -> list[str]:
     findings = []
-    for base in ("src/core", "src/frameworks"):
+    for base in ("src/core", "src/frameworks", "src/telemetry"):
         directory = root / base
         if not directory.is_dir():
             continue
@@ -162,6 +179,20 @@ def self_test() -> int:
         ),
         # Other files are out of scope for the core rules.
         ("src/core/ucudnn.h", '#include "core/planner.h"\n', 0),
+        # Telemetry is a leaf: system and telemetry/ includes are fine,
+        # anything project-local outside telemetry/ is a violation.
+        ("src/telemetry/metrics.cc", "#include <atomic>\n", 0),
+        ("src/telemetry/trace.h", '#include "telemetry/metrics.h"\n', 0),
+        ("src/telemetry/metrics.cc", '#include "common/env.h"\n', 1),
+        ("src/telemetry/trace.cc", '#include "core/types.h"\n', 1),
+        (
+            "src/telemetry/trace.cc",
+            '#include "common/env.h"  // layering: allow\n',
+            0,
+        ),
+        # ...but everyone may include telemetry.
+        ("src/core/planner.cc", '#include "telemetry/metrics.h"\n', 0),
+        ("src/frameworks/caffepp/net.cc", '#include "telemetry/trace.h"\n', 0),
     ]
     failures = []
     for rel, text, expected in cases:
