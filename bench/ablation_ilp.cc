@@ -17,7 +17,9 @@
 
 using namespace ucudnn;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchArtifact artifact("ablation_ilp", argc, argv);
+  artifact.config("device", "P100-SXM2");
   auto dev = bench::make_device("P100-SXM2");
 
   // ---- 1. Pareto pruning -------------------------------------------------
@@ -39,6 +41,11 @@ int main() {
                                                       std::size_t{120} << 20);
     std::printf("%-12s %22zu %18zu\n", std::string(to_string(policy)).c_str(),
                 micro_configs, front.size());
+    artifact.add_row(bench::BenchRow()
+                         .col("section", "pareto_pruning")
+                         .col("policy", std::string(to_string(policy)))
+                         .col("micro_configs", micro_configs)
+                         .col("front_size", front.size()));
   }
   std::printf("(* micro-configurations only; unconstrained division count is "
               "O(|A|^B))\n\n");
@@ -67,6 +74,14 @@ int main() {
                 solver == core::WdSolver::kMckpDp ? "MCKP DP" : "B&B simplex",
                 plan.total_time_ms, plan.num_variables, plan.solve_ms,
                 timer.elapsed_ms());
+    artifact.add_row(
+        bench::BenchRow()
+            .col("section", "wd_solver")
+            .col("solver",
+                 solver == core::WdSolver::kMckpDp ? "MCKP DP" : "B&B simplex")
+            .col("objective_ms", plan.total_time_ms)
+            .col("variables", plan.num_variables)
+            .col("solve_ms", plan.solve_ms));
   }
   std::printf("\n");
 
@@ -92,6 +107,11 @@ int main() {
     std::printf("  %-12s configured conv time %10.2f ms, benchmarking "
                 "%8.1f ms\n",
                 std::string(to_string(policy)).c_str(), total, bench_ms[idx]);
+    artifact.add_row(bench::BenchRow()
+                         .col("section", "policy_quality")
+                         .col("policy", std::string(to_string(policy)))
+                         .col("conv_time_ms", total)
+                         .col("benchmark_ms", bench_ms[idx]));
     ++idx;
   }
   std::printf("  all gains %.1f%% quality for %.1fx more benchmarking\n\n",

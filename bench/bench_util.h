@@ -7,13 +7,17 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/ucudnn.h"
 #include "frameworks/caffepp/net.h"
+#include "telemetry/json_writer.h"
 
 namespace ucudnn::bench {
 
@@ -109,5 +113,160 @@ inline void print_rule(int width = 78) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
 }
+
+// --- machine-readable bench artifacts (tools/bench_compare.py) -------------
+//
+// Every bench binary can dump its measurements next to the printed table as
+// BENCH_<name>.json (schema "ucudnn-bench-v1") when an output directory is
+// given, either with `--json-dir <dir>` (also `--json-dir=<dir>`) or via
+// UCUDNN_BENCH_JSON_DIR. The artifact carries the run configuration, one row
+// per table line (string cells identify the row, numeric cells are the
+// metrics), and the paper-reference values the table prints — exactly what
+// tools/bench_compare.py diffs between two runs.
+
+/// Output directory from argv/environment ("" = artifacts disabled).
+inline std::string json_output_dir(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json-dir" && i + 1 < argc) return argv[i + 1];
+    if (arg.rfind("--json-dir=", 0) == 0) {
+      return arg.substr(std::string("--json-dir=").size());
+    }
+  }
+  const char* env = std::getenv("UCUDNN_BENCH_JSON_DIR");
+  return env == nullptr ? std::string() : std::string(env);
+}
+
+/// One measured table line. String cells name the row (network, policy,
+/// batch size...), numeric cells are comparable metrics. Cell order is
+/// preserved in the artifact.
+class BenchRow {
+ public:
+  BenchRow& col(const std::string& key, const std::string& v) {
+    cells_.emplace_back(key, telemetry::json_quote(v));
+    return *this;
+  }
+  BenchRow& col(const std::string& key, const char* v) {
+    return col(key, std::string(v));
+  }
+  BenchRow& col(const std::string& key, double v) {
+    cells_.emplace_back(key, telemetry::json_number(v));
+    return *this;
+  }
+  BenchRow& col(const std::string& key, int v) {
+    return col(key, static_cast<double>(v));
+  }
+  BenchRow& col(const std::string& key, long long v) {
+    return col(key, static_cast<double>(v));
+  }
+  BenchRow& col(const std::string& key, std::size_t v) {
+    return col(key, static_cast<double>(v));
+  }
+
+ private:
+  friend class BenchArtifact;
+  std::vector<std::pair<std::string, std::string>> cells_;  // key -> raw JSON
+};
+
+/// Collects config/rows/paper references and writes BENCH_<name>.json on
+/// destruction when an output directory was resolved. Inert otherwise, so
+/// binaries call it unconditionally.
+class BenchArtifact {
+ public:
+  BenchArtifact(std::string name, int argc, char** argv)
+      : name_(std::move(name)), dir_(json_output_dir(argc, argv)) {}
+
+  BenchArtifact(const BenchArtifact&) = delete;
+  BenchArtifact& operator=(const BenchArtifact&) = delete;
+
+  bool enabled() const { return !dir_.empty(); }
+  std::string path() const {
+    return (std::filesystem::path(dir_) / ("BENCH_" + name_ + ".json"))
+        .string();
+  }
+
+  void config(const std::string& key, const std::string& v) {
+    config_.emplace_back(key, telemetry::json_quote(v));
+  }
+  void config(const std::string& key, const char* v) {
+    config(key, std::string(v));
+  }
+  void config(const std::string& key, double v) {
+    config_.emplace_back(key, telemetry::json_number(v));
+  }
+  void config(const std::string& key, int v) {
+    config(key, static_cast<double>(v));
+  }
+  void config(const std::string& key, long long v) {
+    config(key, static_cast<double>(v));
+  }
+  void config(const std::string& key, std::size_t v) {
+    config(key, static_cast<double>(v));
+  }
+
+  /// Paper-reference value the table prints for comparison (never a
+  /// regression metric — references are constants).
+  void paper(const std::string& key, double v) {
+    paper_.emplace_back(key, telemetry::json_number(v));
+  }
+
+  void add_row(const BenchRow& row) { rows_.push_back(row); }
+
+  ~BenchArtifact() {
+    if (!enabled()) return;
+    telemetry::JsonWriter w;
+    w.begin_object();
+    w.key("schema");
+    w.value("ucudnn-bench-v1");
+    w.key("name");
+    w.value(name_);
+    w.key("config");
+    w.begin_object();
+    for (const auto& [key, json] : config_) {
+      w.key(key);
+      w.raw(json);
+    }
+    w.end_object();
+    w.key("rows");
+    w.begin_array();
+    for (const BenchRow& row : rows_) {
+      w.begin_object();
+      for (const auto& [key, json] : row.cells_) {
+        w.key(key);
+        w.raw(json);
+      }
+      w.end_object();
+    }
+    w.end_array();
+    w.key("paper");
+    w.begin_object();
+    for (const auto& [key, json] : paper_) {
+      w.key(key);
+      w.raw(json);
+    }
+    w.end_object();
+    w.end_object();
+
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);  // best effort
+    const std::string file = path();
+    std::FILE* f = std::fopen(file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "[bench] cannot write %s\n", file.c_str());
+      return;
+    }
+    const std::string json = w.str() + "\n";
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("[bench] wrote %s\n", file.c_str());
+  }
+
+ private:
+  std::string name_;
+  std::string dir_;
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<std::pair<std::string, std::string>> paper_;
+  std::vector<BenchRow> rows_;
+};
 
 }  // namespace ucudnn::bench

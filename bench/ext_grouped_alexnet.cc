@@ -10,7 +10,11 @@
 
 using namespace ucudnn;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchArtifact artifact("ext_grouped_alexnet", argc, argv);
+  artifact.config("device", "P100-SXM2");
+  artifact.config("batch", 256);
+  artifact.config("workspace_limit_mib", 64);
   std::printf("Extension: grouped (two-tower) vs single-column AlexNet, "
               "P100-SXM2, batch 256, 64 MiB/kernel\n\n");
   std::printf("%-14s %10s %12s %12s %10s\n", "model", "policy", "total[ms]",
@@ -35,6 +39,13 @@ int main() {
                   grouped ? "two-tower g=2" : "single-column",
                   bench::policy_tag(policy), run.total_ms, run.conv_ms,
                   base / run.total_ms);
+      artifact.add_row(bench::BenchRow()
+                           .col("model", grouped ? "two-tower g=2"
+                                                 : "single-column")
+                           .col("policy", bench::policy_tag(policy))
+                           .col("total_ms", run.total_ms)
+                           .col("conv_ms", run.conv_ms)
+                           .col("speedup", base / run.total_ms));
     }
     bench::print_rule(64);
   }

@@ -60,7 +60,10 @@ double execute(const std::vector<Kernel>& kernels,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchArtifact artifact("ext_streams_wd", argc, argv);
+  artifact.config("device", "P100-SXM2");
+  artifact.config("batch", 64);
   std::printf("Extension: concurrent Inception branches under WR vs WD\n");
   std::printf("(inception-3a forward kernels, batch 64, P100-SXM2, four "
               "streams)\n\n");
@@ -110,6 +113,18 @@ int main() {
                 wr_con, wr_seq / wr_con);
     std::printf("%-22s %10.3f %12.3f %9.2fx\n", "WD (ILP division)", wd_seq,
                 wd_con, wd_seq / wd_con);
+    artifact.add_row(bench::BenchRow()
+                         .col("policy", "WR")
+                         .col("total_mib", total_mib)
+                         .col("sequential_ms", wr_seq)
+                         .col("concurrent_ms", wr_con)
+                         .col("overlap_speedup", wr_seq / wr_con));
+    artifact.add_row(bench::BenchRow()
+                         .col("policy", "WD")
+                         .col("total_mib", total_mib)
+                         .col("sequential_ms", wd_seq)
+                         .col("concurrent_ms", wd_con)
+                         .col("overlap_speedup", wd_seq / wd_con));
     std::printf("WD vs WR: %.2fx sequential, %.2fx concurrent\n\n",
                 wr_seq / wd_seq, wr_con / wd_con);
     std::printf("WD segment sizes: ");

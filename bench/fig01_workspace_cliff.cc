@@ -10,10 +10,15 @@
 
 using namespace ucudnn;
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("Fig. 1: cuDNN forward convolution, AlexNet layers, P100-SXM2\n");
   std::printf("mini-batch 256; 'Best' = unlimited workspace, '-1 byte' = one "
               "byte below Best's need\n\n");
+
+  bench::BenchArtifact artifact("fig01_workspace_cliff", argc, argv);
+  artifact.config("device", "P100-SXM2");
+  artifact.config("batch", 256);
+  artifact.paper("conv2_slowdown", 4.51);
 
   mcudnn::Handle handle(bench::make_device("P100-SXM2"));
 
@@ -55,6 +60,17 @@ int main() {
     }
     const double ratio = t_fallback / t_best;
     if (std::string(layer.name) == "conv2") conv2_ratio = ratio;
+    artifact.add_row(
+        bench::BenchRow()
+            .col("layer", layer.name)
+            .col("best_algo",
+                 std::string(kernels::algo_name(ConvKernelType::kForward, best)))
+            .col("best_ms", t_best)
+            .col("fallback_algo",
+                 std::string(
+                     kernels::algo_name(ConvKernelType::kForward, fallback)))
+            .col("fallback_ms", t_fallback)
+            .col("slowdown", ratio));
     std::printf("%-7s %-24s %10.3f %-24s %10.3f %6.2fx\n", layer.name,
                 std::string(kernels::algo_name(ConvKernelType::kForward, best))
                     .c_str(),

@@ -11,10 +11,16 @@
 
 using namespace ucudnn;
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("Fig. 8: desirable configurations of AlexNet conv2 (Forward), "
               "P100-SXM2\n");
   std::printf("workspace cap 120 MiB, mini-batch 256, batch-size policy: all\n\n");
+
+  bench::BenchArtifact artifact("fig08_pareto_front", argc, argv);
+  artifact.config("device", "P100-SXM2");
+  artifact.config("batch", 256);
+  artifact.config("workspace_cap_mib", 120);
+  artifact.paper("max_front_size", 68.0);
 
   core::Benchmarker benchmarker({mcudnn::Handle(bench::make_device("P100-SXM2"))},
                                 nullptr);
@@ -30,6 +36,11 @@ int main() {
     std::printf("%12.2f %12.3f   %s\n", bench::mib(config.workspace),
                 config.time_ms,
                 config.to_string(ConvKernelType::kForward).c_str());
+    artifact.add_row(
+        bench::BenchRow()
+            .col("configuration", config.to_string(ConvKernelType::kForward))
+            .col("workspace_mib", bench::mib(config.workspace))
+            .col("time_ms", config.time_ms));
   }
   bench::print_rule();
   std::printf("front size: %zu desirable configurations "

@@ -11,9 +11,16 @@
 
 using namespace ucudnn;
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("Fig. 9: WR optimization of AlexNet conv2 (Forward), "
               "P100-SXM2, 64 MiB limit, batch 256\n\n");
+
+  bench::BenchArtifact artifact("fig09_wr_conv2", argc, argv);
+  artifact.config("device", "P100-SXM2");
+  artifact.config("batch", 256);
+  artifact.config("workspace_limit_mib", 64);
+  artifact.paper("all_speedup", 2.33);
+  artifact.paper("fft_ws_mib", 48.9);
 
   core::Benchmarker benchmarker({mcudnn::Handle(bench::make_device("P100-SXM2"))},
                                 nullptr);
@@ -37,6 +44,14 @@ int main() {
                 std::string(to_string(policy)).c_str(), config.time_ms,
                 bench::mib(config.workspace), undivided_ms / config.time_ms,
                 config.to_string(ConvKernelType::kForward).c_str());
+    artifact.add_row(
+        bench::BenchRow()
+            .col("policy", std::string(to_string(policy)))
+            .col("time_ms", config.time_ms)
+            .col("workspace_mib", bench::mib(config.workspace))
+            .col("speedup", undivided_ms / config.time_ms)
+            .col("configuration",
+                 config.to_string(ConvKernelType::kForward)));
   }
   bench::print_rule(100);
   std::printf("(paper: FFT @ micro-batch 32 using 48.9 MiB; all = 2.33x over "

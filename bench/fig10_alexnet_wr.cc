@@ -13,12 +13,21 @@
 
 using namespace ucudnn;
 
-int main() {
+int main(int argc, char** argv) {
   const struct {
     const char* device;
     std::int64_t batch;
   } targets[] = {
       {"K80", 256}, {"P100-SXM2", 256}, {"V100-SXM2", 1024}};
+
+  bench::BenchArtifact artifact("fig10_alexnet_wr", argc, argv);
+  artifact.config("network", "AlexNet");
+  artifact.paper("k80_total_speedup_64mib", 1.81);
+  artifact.paper("k80_conv_speedup_64mib", 2.10);
+  artifact.paper("p100_total_speedup_64mib", 1.40);
+  artifact.paper("p100_conv_speedup_64mib", 1.63);
+  artifact.paper("v100_total_speedup_64mib", 1.47);
+  artifact.paper("v100_conv_speedup_64mib", 1.63);
 
   for (const auto& target : targets) {
     std::printf("=== AlexNet on %s, mini-batch %lld ===\n", target.device,
@@ -44,6 +53,14 @@ int main() {
         std::printf("%8zu %8s %12.2f %12.2f %9.2fx %9.2fx\n", ws_mib,
                     bench::policy_tag(policy), run.total_ms, run.conv_ms,
                     base_total / run.total_ms, base_conv / run.conv_ms);
+        artifact.add_row(bench::BenchRow()
+                             .col("device", target.device)
+                             .col("workspace_mib", ws_mib)
+                             .col("policy", bench::policy_tag(policy))
+                             .col("total_ms", run.total_ms)
+                             .col("conv_ms", run.conv_ms)
+                             .col("total_speedup", base_total / run.total_ms)
+                             .col("conv_speedup", base_conv / run.conv_ms));
       }
     }
     bench::print_rule(66);

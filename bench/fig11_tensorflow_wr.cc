@@ -32,7 +32,13 @@ double run_tfmini(const std::function<int(tfmini::Graph&)>& build,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchArtifact artifact("fig11_tensorflow_wr", argc, argv);
+  artifact.config("device", "P100-SXM2");
+  artifact.config("framework", "tfmini");
+  artifact.paper("alexnet_speedup_64mib", 1.24);
+  artifact.paper("resnet50_speedup_64mib", 1.06);
+
   struct ModelDef {
     const char* name;
     std::function<int(tfmini::Graph&)> build;
@@ -61,6 +67,12 @@ int main() {
         if (policy == core::BatchSizePolicy::kUndivided) base = ms;
         std::printf("%8zu %8s %12.2f %9.2fx\n", ws_mib,
                     bench::policy_tag(policy), ms, base / ms);
+        artifact.add_row(bench::BenchRow()
+                             .col("model", model.name)
+                             .col("workspace_mib", ws_mib)
+                             .col("policy", bench::policy_tag(policy))
+                             .col("total_ms", ms)
+                             .col("speedup", base / ms));
       }
     }
     bench::print_rule(44);

@@ -37,7 +37,7 @@ MemRun run(const std::function<void(caffepp::Net&, std::int64_t)>& build,
   return result;
 }
 
-void compare(const char* title,
+void compare(bench::BenchArtifact& artifact, const char* title,
              const std::function<void(caffepp::Net&, std::int64_t)>& build,
              std::int64_t batch) {
   std::printf("=== %s (batch %lld) ===\n", title, static_cast<long long>(batch));
@@ -61,6 +61,12 @@ void compare(const char* title,
     std::printf("%-10s %10.1f %10.1f %12.1f %12.1f %7.2fx\n", layer.c_str(),
                 bench::mib(m.data), bench::mib(m.param), bench::mib(m.workspace),
                 bench::mib(ws_u), cut);
+    artifact.add_row(bench::BenchRow()
+                         .col("network", title)
+                         .col("layer", layer)
+                         .col("ws_cudnn_mib", bench::mib(m.workspace))
+                         .col("ws_ucudnn_mib", bench::mib(ws_u))
+                         .col("ws_cut", cut));
   }
   bench::print_rule(68);
   std::printf("total workspace: cuDNN %.1f MiB -> u-cuDNN %.1f MiB (%.2fx)\n",
@@ -71,19 +77,36 @@ void compare(const char* title,
   std::printf("iteration time: cuDNN@512MiB %.2f ms vs u-cuDNN@64MiB %.2f ms "
               "(slowdown %.2fx; paper: 1.17x)\n\n",
               cudnn.total_ms, ucudnn.total_ms, ucudnn.total_ms / cudnn.total_ms);
+  artifact.add_row(
+      bench::BenchRow()
+          .col("network", title)
+          .col("layer", "(total)")
+          .col("ws_cudnn_mib", bench::mib(cudnn.total_ws))
+          .col("ws_ucudnn_mib", bench::mib(ucudnn.total_ws))
+          .col("ws_cut", static_cast<double>(cudnn.total_ws) /
+                             static_cast<double>(
+                                 std::max<std::size_t>(1, ucudnn.total_ws)))
+          .col("cudnn_ms", cudnn.total_ms)
+          .col("ucudnn_ms", ucudnn.total_ms)
+          .col("slowdown", ucudnn.total_ms / cudnn.total_ms));
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("Fig. 12: per-layer memory on P100-SXM2 — cuDNN (undivided, "
               "512 MiB) vs u-cuDNN (powerOfTwo, 64 MiB)\n\n");
-  compare("AlexNet",
+  bench::BenchArtifact artifact("fig12_memory", argc, argv);
+  artifact.config("device", "P100-SXM2");
+  artifact.paper("alexnet_max_ws_cut", 3.43);
+  artifact.paper("resnet18_max_ws_cut", 2.73);
+  artifact.paper("slowdown", 1.17);
+  compare(artifact, "AlexNet",
           [](caffepp::Net& net, std::int64_t batch) {
             caffepp::build_alexnet(net, batch);
           },
           256);
-  compare("ResNet-18",
+  compare(artifact, "ResNet-18",
           [](caffepp::Net& net, std::int64_t batch) {
             caffepp::build_resnet18(net, batch);
           },

@@ -44,7 +44,7 @@ Row run(const std::function<void(caffepp::Net&, std::int64_t)>& build,
   return row;
 }
 
-void compare(const char* title,
+void compare(bench::BenchArtifact& artifact, const char* title,
              const std::function<void(caffepp::Net&, std::int64_t)>& build,
              std::int64_t batch, const std::vector<std::size_t>& per_kernel_mib) {
   std::printf("=== %s (batch %lld) ===\n", title, static_cast<long long>(batch));
@@ -77,6 +77,18 @@ void compare(const char* title,
                          bench::wd_options(total,
                                            core::BatchSizePolicy::kPowerOfTwo),
                          per_kernel);
+    const auto emit = [&](const char* config, const Row& row) {
+      artifact.add_row(bench::BenchRow()
+                           .col("network", title)
+                           .col("per_kernel_mib", mib)
+                           .col("configuration", config)
+                           .col("total_ms", row.total_ms)
+                           .col("conv_ms", row.conv_ms)
+                           .col("speedup", baseline / row.total_ms));
+    };
+    emit("WR undivided", wr_u);
+    emit("WR powerOfTwo", wr_a);
+    emit("WD powerOfTwo", wd_a);
     char label[64];
     std::snprintf(label, sizeof label, "WR undivided @%zu MiB/kern", mib);
     std::printf("%-30s %12.2f %12.2f %9.2fx\n", label, wr_u.total_ms,
@@ -95,14 +107,20 @@ void compare(const char* title,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("Fig. 13: WR vs WD at equal total workspace, P100-SXM2\n\n");
-  compare("AlexNet",
+  bench::BenchArtifact artifact("fig13_wd_vs_wr", argc, argv);
+  artifact.config("device", "P100-SXM2");
+  artifact.paper("alexnet_wd_total_speedup", 1.24);
+  artifact.paper("alexnet_wd_conv_speedup", 1.38);
+  artifact.paper("resnet50_wd_total_speedup", 1.05);
+  artifact.paper("resnet50_wd_conv_speedup", 1.14);
+  compare(artifact, "AlexNet",
           [](caffepp::Net& net, std::int64_t batch) {
             caffepp::build_alexnet(net, batch);
           },
           256, {8, 64, 512});
-  compare("ResNet-50",
+  compare(artifact, "ResNet-50",
           [](caffepp::Net& net, std::int64_t batch) {
             caffepp::build_resnet50(net, batch);
           },

@@ -10,9 +10,15 @@
 
 using namespace ucudnn;
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("Fig. 14: WD workspace division, AlexNet on P100-SXM2, "
               "batch 256, 120 MiB total\n\n");
+
+  bench::BenchArtifact artifact("fig14_wd_division", argc, argv);
+  artifact.config("device", "P100-SXM2");
+  artifact.config("batch", 256);
+  artifact.config("arena_mib", 120);
+  artifact.paper("conv23_arena_share_pct", 93.7);
 
   auto dev = bench::make_device("P100-SXM2");
   core::UcudnnHandle handle(
@@ -39,6 +45,12 @@ int main() {
                 bench::mib(assignment.config.workspace),
                 assignment.config.time_ms,
                 assignment.config.to_string(request.type).c_str());
+    artifact.add_row(
+        bench::BenchRow()
+            .col("kernel", request.label)
+            .col("workspace_mib", bench::mib(assignment.config.workspace))
+            .col("time_ms", assignment.config.time_ms)
+            .col("configuration", assignment.config.to_string(request.type)));
     if (request.label.rfind("conv2", 0) == 0 ||
         request.label.rfind("conv3", 0) == 0) {
       conv23 += assignment.config.workspace;

@@ -4,8 +4,10 @@
 // benchmarking phase uses when running on the HostCpu backend.
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "common/aligned_buffer.h"
 #include "kernels/registry.h"
 #include "tensor/tensor.h"
@@ -77,4 +79,53 @@ BENCHMARK(BM_Forward3x3)
                     kernels::fwd_algo::kFft}})
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+namespace {
+
+// Console output as usual, plus one artifact row per completed run (times
+// are per-iteration in the benchmark's unit — milliseconds here).
+class ArtifactReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit ArtifactReporter(bench::BenchArtifact& artifact)
+      : artifact_(artifact) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      artifact_.add_row(
+          bench::BenchRow()
+              .col("benchmark", run.benchmark_name())
+              .col("iterations", static_cast<double>(run.iterations))
+              .col("real_time_ms", run.GetAdjustedRealTime())
+              .col("cpu_time_ms", run.GetAdjustedCPUTime()));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+ private:
+  bench::BenchArtifact& artifact_;
+};
+
+}  // namespace
+
+// Custom main instead of BENCHMARK_MAIN(): --json-dir must be stripped
+// before benchmark::Initialize, which rejects unknown flags.
+int main(int argc, char** argv) {
+  bench::BenchArtifact artifact("micro_kernels", argc, argv);
+  artifact.config("backend", "HostCpu");
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json-dir") {
+      ++i;  // also skip its value
+      continue;
+    }
+    if (arg.rfind("--json-dir=", 0) == 0) continue;
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  ArtifactReporter reporter(artifact);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

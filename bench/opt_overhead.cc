@@ -10,7 +10,12 @@
 
 using namespace ucudnn;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchArtifact artifact("opt_overhead", argc, argv);
+  artifact.config("device", "P100-SXM2");
+  artifact.paper("all_vs_pow2_wall_ratio", 8.9);
+  artifact.paper("resnet50_ilp_vars", 562.0);
+  artifact.paper("resnet50_ilp_solve_ms", 5.46);
   std::printf("Optimization overhead (AlexNet, P100-SXM2, batch 256, "
               "64 MiB/kernel)\n\n");
   std::printf("%-12s %14s %14s %14s\n", "policy", "benchmark[ms]",
@@ -32,6 +37,12 @@ int main() {
     std::printf("%-12s %14.2f %14.2f %14.2f\n",
                 std::string(to_string(policy)).c_str(),
                 handle.total_benchmark_ms(), handle.total_optimize_ms(), wall);
+    artifact.add_row(bench::BenchRow()
+                         .col("section", "wr_overhead")
+                         .col("policy", std::string(to_string(policy)))
+                         .col("benchmark_ms", handle.total_benchmark_ms())
+                         .col("optimize_ms", handle.total_optimize_ms())
+                         .col("wall_ms", wall));
   }
   bench::print_rule(60);
   std::printf("all / powerOfTwo wall ratio: %.1fx (paper: ~8.9x)\n\n",
@@ -65,5 +76,12 @@ int main() {
               bench::mib(plan->total_workspace),
               bench::mib(kernels * (std::size_t{32} << 20)),
               handle.total_benchmark_ms());
+  artifact.add_row(bench::BenchRow()
+                       .col("section", "wd_ilp_resnet50")
+                       .col("unique_kernels", kernels)
+                       .col("ilp_variables", plan->num_variables)
+                       .col("solve_ms", plan->solve_ms)
+                       .col("arena_used_mib", bench::mib(plan->total_workspace))
+                       .col("benchmark_ms", handle.total_benchmark_ms()));
   return 0;
 }

@@ -8,7 +8,8 @@
 
 using namespace ucudnn;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchArtifact artifact("table1_environment", argc, argv);
   std::printf("Table I: evaluation environment specification\n\n");
   std::printf("%-22s %14s %14s %14s\n", "", "TSUBAME-KFC/DL", "TSUBAME 3",
               "DGX-1");
@@ -16,6 +17,13 @@ int main() {
   const device::DeviceSpec specs[] = {device::k80_spec(),
                                       device::p100_sxm2_spec(),
                                       device::v100_sxm2_spec()};
+  for (const auto& spec : specs) {
+    artifact.add_row(bench::BenchRow()
+                         .col("gpu", spec.name)
+                         .col("sp_peak_tflops", spec.peak_sp_gflops / 1e3)
+                         .col("mem_bandwidth_gbs", spec.mem_bandwidth_gbs)
+                         .col("memory_gib", bench::mib(spec.memory_bytes) / 1024));
+  }
   std::printf("%-22s %14s %14s %14s\n", "GPU (simulated)", specs[0].name.c_str(),
               specs[1].name.c_str(), specs[2].name.c_str());
   std::printf("%-22s %11.2f TF %11.2f TF %11.2f TF\n", "SP peak",

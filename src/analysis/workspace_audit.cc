@@ -8,6 +8,7 @@
 #include "common/env.h"
 #include "common/logging.h"
 #include "common/status.h"
+#include "telemetry/metrics.h"
 
 namespace ucudnn::analysis {
 
@@ -108,6 +109,13 @@ void record_audit(const std::string& kernel, std::size_t declared,
   const std::size_t slack = declared >= touched ? declared - touched : 0;
   if (slack < stats.min_slack) stats.min_slack = slack;
   ++stats.runs;
+  if (stats.declared_bytes > 0) {
+    // Utilization high-water in percent, mirrored into execution reports.
+    telemetry::MetricsRegistry::instance()
+        .gauge("ucudnn.audit.ws_utilization." + kernel)
+        .set(static_cast<std::int64_t>(100 * stats.max_touched /
+                                       stats.declared_bytes));
+  }
 }
 
 std::map<std::string, AuditStats> audit_report() {

@@ -35,7 +35,8 @@ Executor::Executor(mcudnn::Handle& handle, const Options& options,
 
 void Executor::run(const ExecutionPlan& plan, float alpha, const float* a,
                    const float* b, float beta, float* out, void* ws,
-                   std::size_t ws_bytes, const ReplanFn& replan) {
+                   std::size_t ws_bytes, const ReplanFn& replan,
+                   const MeasureFn& measure) {
   const ConvKernelType type = plan.type;
   const kernels::ConvProblem& problem = plan.problem;
   {
@@ -53,6 +54,12 @@ void Executor::run(const ExecutionPlan& plan, float alpha, const float* a,
   // retry budget, the not-yet-executed tail is spliced out for replacement
   // segments from the ReplanFn.
   std::vector<PlanSegment> segments = plan.segments;
+  // On a simulated device the wall-clock Timer reads ~0 (virtual execution
+  // only advances the modeled stream clock), so measured segment times are
+  // taken as device-clock deltas there — the quantity the planner's
+  // estimates model.
+  device::Device& dev = handle_.device();
+  const bool simulated = dev.is_simulated();
   std::int64_t done = 0;
   int replans = 0;
   std::size_t idx = 0;
@@ -62,6 +69,8 @@ void Executor::run(const ExecutionPlan& plan, float alpha, const float* a,
       return "batch=" + std::to_string(segment.batch) +
              " algo=" + std::to_string(segment.algo);
     });
+    const double clock_start =
+        simulated ? dev.stream_clock_ms(handle_.stream()) : 0.0;
     Timer segment_timer;
     const kernels::ConvProblem sub = problem.with_batch(segment.batch);
     const float* a_ptr = a == nullptr ? nullptr : a + segment.a_offset;
@@ -121,8 +130,15 @@ void Executor::run(const ExecutionPlan& plan, float alpha, const float* a,
       }
     }
     if (replanned) continue;  // segments[idx] was replaced; run the new tail
+    const double wall_ms = segment_timer.elapsed_ms();
     segments_metric().add(1);
-    segment_ms_histogram().observe_ms(segment_timer.elapsed_ms());
+    segment_ms_histogram().observe_ms(wall_ms);
+    if (measure) {
+      const double measured_ms =
+          simulated ? dev.stream_clock_ms(handle_.stream()) - clock_start
+                    : wall_ms;
+      measure(idx, segment, measured_ms);
+    }
     done += segment.batch;
     ++idx;
   }

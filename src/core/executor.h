@@ -29,6 +29,16 @@ namespace ucudnn::core {
 using ReplanFn = std::function<std::vector<PlanSegment>(
     int algo, std::int64_t done, int replans)>;
 
+/// Per-segment measurement sink (execution reports): `index` is the position
+/// in the — possibly re-planned — segment list, `segment` the schedule entry
+/// that ran, `measured_ms` the cost of the completed execution (including
+/// retries). On a simulated device that is the device-clock delta, so
+/// virtual-mode measurements agree with the analytic model the planner's
+/// estimates come from; on a measured device it is wall clock.
+using MeasureFn = std::function<void(std::size_t index,
+                                     const PlanSegment& segment,
+                                     double measured_ms)>;
+
 class Executor {
  public:
   /// `stats` is the facade-owned degradation ledger, shared with the Planner.
@@ -38,10 +48,12 @@ class Executor {
   /// Executes every segment of `plan` against the bound workspace. A failed
   /// mcudnn::convolution throws before touching any operand byte, so
   /// retrying (or splicing replacement segments for the remaining
-  /// micro-batches) cannot change the values already produced.
+  /// micro-batches) cannot change the values already produced. `measure`
+  /// (optional) receives every completed segment's measured time.
   void run(const ExecutionPlan& plan, float alpha, const float* a,
            const float* b, float beta, float* out, void* ws,
-           std::size_t ws_bytes, const ReplanFn& replan);
+           std::size_t ws_bytes, const ReplanFn& replan,
+           const MeasureFn& measure = {});
 
  private:
   mcudnn::Handle& handle_;

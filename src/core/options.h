@@ -25,6 +25,14 @@
 //                                = off (docs/observability.md)  (unset = off)
 //   UCUDNN_TRACE_FILE            chrome://tracing JSON written at exit;
 //                                implies telemetry on           (unset = off)
+//   UCUDNN_REPORT_FILE           per-handle execution report (plan explain,
+//                                estimated-vs-measured ms, workspace audit)
+//                                at handle teardown; JSON when the path ends
+//                                in .json, pretty text otherwise (unset = off)
+//   UCUDNN_BENCH_JSON_DIR        bench binaries also write machine-readable
+//                                BENCH_<name>.json artifacts to this
+//                                directory (same as --json-dir); compare runs
+//                                with tools/bench_compare.py  (unset = off)
 //
 // The telemetry variables are read by the src/telemetry leaf directly (not
 // through Options): telemetry must stay includable from every layer without

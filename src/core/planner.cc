@@ -184,6 +184,7 @@ Planner::WrEntry& Planner::wr_entry(ConvKernelType type,
   Timer timer;
   Configuration config = optimize_wr(bench, problem.batch(), limit);
   charge_optimize_ms(timer.elapsed_ms());
+  bool degraded = false;
   UCUDNN_LOG_INFO << "WR " << to_string(type) << " " << problem.to_string()
                   << " limit=" << limit << " -> " << config.to_string(type)
                   << " time=" << config.time_ms
@@ -219,6 +220,7 @@ Planner::WrEntry& Planner::wr_entry(ConvKernelType type,
       // run): re-optimize under a geometrically halved limit. Terminates
       // because the front always contains the zero-workspace configuration.
       const std::size_t degraded_limit = config.workspace / 2;
+      degraded = true;
       stats_.count_degraded_allocation();
       UCUDNN_LOG_WARN << "workspace allocation of " << config.workspace
                       << " bytes failed for " << tag << " (" << e.what()
@@ -228,8 +230,9 @@ Planner::WrEntry& Planner::wr_entry(ConvKernelType type,
       charge_optimize_ms(degrade_timer.elapsed_ms());
     }
   }
-  auto [inserted, ok] =
-      wr_entries_.emplace(key, WrEntry{std::move(config), std::move(ws)});
+  auto [inserted, ok] = wr_entries_.emplace(
+      key, WrEntry{std::move(config), std::move(ws),
+                   degraded ? "wr_dp(degraded)" : "wr_dp"});
   (void)ok;
   return inserted->second;
 }
@@ -315,6 +318,29 @@ const Configuration* Planner::configuration_for(
   const std::size_t limit = effective_limit(type, problem);
   const auto it = wr_entries_.find(wr_key(type, problem, limit));
   return it != wr_entries_.end() ? &it->second.config : nullptr;
+}
+
+std::string Planner::provenance_for(
+    ConvKernelType type, const kernels::ConvProblem& problem,
+    const std::vector<KernelRequest>& requests) const {
+  std::string prefix;
+  if (options_.workspace_policy == WorkspacePolicy::kWD) {
+    if (!wd_degraded_to_wr_ && wd_assignment(type, problem, requests)) {
+      if (wd_plan_ && wd_plan_->solver_fell_back) return "wd_ilp->mckp_dp";
+      return options_.wd_solver == WdSolver::kBranchBoundIlp ? "wd_ilp"
+                                                             : "wd_mckp_dp";
+    }
+    // WD was requested but this kernel runs WR: either the whole plan was
+    // infeasible or the kernel was not recorded before finalization.
+    prefix = wd_degraded_to_wr_ ? "wd_infeasible->" : "wd_unrecorded->";
+  }
+  const auto it =
+      wr_entries_.find(wr_key(type, problem, effective_limit(type, problem)));
+  const std::string wr = it != wr_entries_.end() &&
+                                 !it->second.provenance.empty()
+                             ? it->second.provenance
+                             : std::string("wr_dp");
+  return prefix + wr;
 }
 
 void Planner::apply_pending_invalidations(

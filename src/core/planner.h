@@ -153,6 +153,20 @@ class Planner {
       ConvKernelType type, const kernels::ConvProblem& problem,
       const std::vector<KernelRequest>& requests) const;
 
+  /// Which optimizer produced the kernel's current division — "wr_dp",
+  /// "wd_ilp", "wd_mckp_dp", with degradation prefixes/suffixes such as
+  /// "wd_ilp->mckp_dp" (ILP budget exhausted), "wd_infeasible->wr_dp", or
+  /// "wr_dp(degraded)" (workspace OOM halving). Feeds execution reports.
+  std::string provenance_for(ConvKernelType type,
+                             const kernels::ConvProblem& problem,
+                             const std::vector<KernelRequest>& requests) const;
+
+  /// The per-kernel workspace limit the WR DP runs under: the
+  /// UCUDNN_WORKSPACE_LIMIT override, else the framework-recorded limit,
+  /// else the 8 MiB default.
+  std::size_t effective_limit(ConvKernelType type,
+                              const kernels::ConvProblem& problem) const;
+
   Benchmarker& benchmarker() noexcept { return benchmarker_; }
   const Benchmarker& benchmarker() const noexcept { return benchmarker_; }
   PlanCache& plan_cache() noexcept { return plan_cache_; }
@@ -175,6 +189,7 @@ class Planner {
   struct WrEntry {
     Configuration config;
     DeviceBuffer workspace;
+    std::string provenance;  // "wr_dp", or "wr_dp(degraded)" after OOM halving
   };
 
   std::string wr_key(ConvKernelType type, const kernels::ConvProblem& problem,
@@ -182,8 +197,6 @@ class Planner {
   std::string plan_key(ConvKernelType type,
                        const kernels::ConvProblem& problem,
                        std::size_t limit) const;
-  std::size_t effective_limit(ConvKernelType type,
-                              const kernels::ConvProblem& problem) const;
   WrEntry& wr_entry(ConvKernelType type, const kernels::ConvProblem& problem,
                     const std::vector<KernelRequest>& requests);
   const WdAssignment* wd_assignment(

@@ -6,6 +6,7 @@
 
 #include "analysis/workspace_audit.h"
 #include "common/logging.h"
+#include "kernels/registry.h"
 #include "telemetry/metrics.h"
 
 namespace ucudnn::core {
@@ -92,6 +93,14 @@ void UcudnnHandle::init_cache_from_file() {
 }
 
 UcudnnHandle::~UcudnnHandle() {
+  if (const std::string& report_path = telemetry::report_file_path();
+      !report_path.empty()) {
+    try {
+      telemetry::write_report_file(execution_report(), report_path);
+    } catch (const std::exception& e) {
+      UCUDNN_LOG_WARN << "failed to write execution report: " << e.what();
+    }
+  }
   if (analysis::workspace_audit_enabled()) analysis::log_audit_report();
   if (stats_.any()) {
     UCUDNN_LOG_WARN << "degradation stats: " << stats_.to_string();
@@ -178,6 +187,23 @@ const Configuration* UcudnnHandle::configuration_for(
   return planner_.configuration_for(type, problem, requests_);
 }
 
+UcudnnHandle::KernelExecRecord& UcudnnHandle::exec_record(
+    ConvKernelType type, const kernels::ConvProblem& problem) {
+  // The request always exists here: convolution() records the kernel first.
+  const auto req = std::find_if(
+      requests_.begin(), requests_.end(),
+      [&](const KernelRequest& r) { return r.matches(type, problem); });
+  check(req != requests_.end(), Status::kInternalError,
+        "exec_record called for an unrecorded kernel");
+  for (auto& [label, record] : exec_records_) {
+    if (label == req->label) return record;
+  }
+  auto& entry = exec_records_.emplace_back(req->label, KernelExecRecord{});
+  entry.second.type = type;
+  entry.second.problem = problem;
+  return entry.second;
+}
+
 void UcudnnHandle::convolution(ConvKernelType type,
                                const kernels::ConvProblem& problem, float alpha,
                                const float* a, const float* b, float beta,
@@ -185,13 +211,121 @@ void UcudnnHandle::convolution(ConvKernelType type,
   planner_.apply_pending_invalidations(requests_);
   record_kernel(type, problem);
   const PlannedConvolution planned = planner_.plan(type, problem, requests_);
-  executor_.run(*planned.plan, alpha, a, b, beta, out, planned.workspace,
-                planned.workspace_bytes,
-                [&](int algo, std::int64_t done, int replans) {
-                  return planner_.replan_tail(type, problem, algo, done,
-                                              planned.workspace_bytes,
-                                              replans);
-                });
+
+  // Execution-report bookkeeping: refresh the record when the plan changed
+  // (first call, re-optimization, or epoch bump), which resets segment stats.
+  KernelExecRecord& record = exec_record(type, problem);
+  if (record.plan != planned.plan) {
+    record.plan = planned.plan;
+    record.provenance = planner_.provenance_for(type, problem, requests_);
+    record.ws_limit = planned.plan->binding.kind == WorkspaceKind::kWdArena
+                          ? options_.total_workspace_size
+                          : planner_.effective_limit(type, problem);
+    record.segments.clear();
+    record.segments.reserve(planned.plan->segments.size());
+    for (const PlanSegment& seg : planned.plan->segments) {
+      SegmentStat s;
+      s.batch = seg.batch;
+      s.algo = seg.algo;
+      s.accumulate = seg.accumulate;
+      s.workspace = seg.workspace;
+      s.estimated_ms = seg.time_ms;
+      record.segments.push_back(s);
+    }
+  }
+  ++record.executions;
+  const std::uint64_t replans_before = record.replans;
+  std::size_t executed = 0;
+
+  executor_.run(
+      *planned.plan, alpha, a, b, beta, out, planned.workspace,
+      planned.workspace_bytes,
+      [&](int algo, std::int64_t done, int replans) {
+        ++record.replans;
+        return planner_.replan_tail(type, problem, algo, done,
+                                    planned.workspace_bytes, replans);
+      },
+      [&](std::size_t idx, const PlanSegment& seg, double measured_ms) {
+        if (idx >= record.segments.size()) record.segments.resize(idx + 1);
+        SegmentStat& s = record.segments[idx];
+        if (s.batch != seg.batch || s.algo != seg.algo) {
+          // A tail re-plan replaced the schedule at this index; restart its
+          // stats from the replacement segment's estimate.
+          s = SegmentStat{};
+          s.batch = seg.batch;
+          s.algo = seg.algo;
+          s.accumulate = seg.accumulate;
+          s.workspace = seg.workspace;
+          s.estimated_ms = seg.time_ms;
+        }
+        s.measured_ms_total += measured_ms;
+        ++s.runs;
+        executed = std::max(executed, idx + 1);
+      });
+
+  if (record.replans != replans_before && record.segments.size() > executed) {
+    // The re-planned schedule is shorter than the recorded one; the stale
+    // tail slots were never run under the new plan.
+    record.segments.resize(executed);
+  }
+}
+
+telemetry::ExecutionReport UcudnnHandle::execution_report() const {
+  telemetry::ExecutionReport report;
+  report.device = handle_.device().spec().name;
+  report.policy = std::string(to_string(options_.workspace_policy));
+  report.batch_size_policy =
+      std::string(to_string(options_.batch_size_policy));
+  const PlanCache& cache = planner_.plan_cache();
+  report.plan_cache_hits = cache.hits();
+  report.plan_cache_misses = cache.misses();
+  report.plan_cache_epoch = cache.epoch();
+  if (stats_.any()) report.degradation = stats_.to_string();
+
+  report.kernels.reserve(exec_records_.size());
+  for (const auto& [label, record] : exec_records_) {
+    telemetry::KernelReport kr;
+    kr.label = label;
+    kr.kernel_type = std::string(to_string(record.type));
+    kr.problem = record.problem.to_string();
+    if (record.plan) {
+      kr.plan = record.plan->to_string();
+      kr.policy =
+          record.plan->binding.kind == WorkspaceKind::kWdArena ? "WD" : "WR";
+      kr.workspace_kind = std::string(to_string(record.plan->binding.kind));
+      kr.workspace_declared = record.plan->workspace;
+    }
+    kr.provenance = record.provenance;
+    kr.workspace_limit = record.ws_limit;
+    kr.executions = record.executions;
+    kr.replans = record.replans;
+    kr.segments.reserve(record.segments.size());
+    for (const SegmentStat& s : record.segments) {
+      telemetry::SegmentReport sr;
+      sr.batch = s.batch;
+      sr.algo = s.algo;
+      sr.algo_name = s.algo < 0 ? "?"
+                                : std::string(kernels::algo_name(
+                                      record.type, s.algo));
+      sr.accumulate = s.accumulate;
+      sr.workspace_bytes = s.workspace;
+      sr.estimated_ms = s.estimated_ms;
+      sr.measured_ms_total = s.measured_ms_total;
+      sr.runs = s.runs;
+      kr.segments.push_back(std::move(sr));
+    }
+    report.kernels.push_back(std::move(kr));
+  }
+
+  for (const auto& [kernel, stats] : analysis::audit_report()) {
+    telemetry::WorkspaceAuditReport ar;
+    ar.kernel = kernel;
+    ar.declared_bytes = stats.declared_bytes;
+    ar.touched_bytes = stats.max_touched;
+    ar.runs = stats.runs;
+    report.audit.push_back(std::move(ar));
+  }
+  return report;
 }
 
 // --- cuDNN-shaped Status API ------------------------------------------------

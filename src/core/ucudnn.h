@@ -31,6 +31,7 @@
 #include "core/types.h"
 #include "core/wd_optimizer.h"
 #include "mcudnn/mcudnn.h"
+#include "telemetry/report.h"
 
 namespace ucudnn::core {
 
@@ -135,9 +136,45 @@ class UcudnnHandle {
   /// Degradation events accumulated over the handle's lifetime.
   const DegradationStats& degradation_stats() const noexcept { return stats_; }
 
+  /// Execution report ("plan explain"): per-kernel micro-batch division and
+  /// per-segment algorithm, estimated vs measured segment times, workspace
+  /// declared vs audit-touched bytes, plan-cache/degradation context, and
+  /// WR/WD policy metadata. Assembled on demand from planner provenance and
+  /// executor measurements; the destructor dumps it to UCUDNN_REPORT_FILE
+  /// when set (JSON when the path ends in ".json", pretty text otherwise).
+  telemetry::ExecutionReport execution_report() const;
+
  private:
+  // Per-kernel execution bookkeeping backing execution_report(): the plan
+  // actually run, the planner's provenance for it, and per-segment measured
+  // times accumulated by the executor's MeasureFn callback. Stats reset
+  // whenever the kernel's plan changes (re-optimization, epoch bump).
+  struct SegmentStat {
+    std::int64_t batch = 0;
+    int algo = -1;
+    bool accumulate = false;
+    std::size_t workspace = 0;
+    double estimated_ms = 0.0;
+    double measured_ms_total = 0.0;
+    std::uint64_t runs = 0;
+  };
+  struct KernelExecRecord {
+    ConvKernelType type = ConvKernelType::kForward;
+    kernels::ConvProblem problem;
+    std::shared_ptr<const ExecutionPlan> plan;
+    std::string provenance;
+    std::size_t ws_limit = 0;
+    std::uint64_t executions = 0;
+    std::uint64_t replans = 0;
+    std::vector<SegmentStat> segments;
+  };
+
   std::string label_for(ConvKernelType type,
                         const kernels::ConvProblem& problem) const;
+  /// The execution record for this kernel, created on first execution and
+  /// keyed by the recorded request's label (execution order preserved).
+  KernelExecRecord& exec_record(ConvKernelType type,
+                                const kernels::ConvProblem& problem);
   /// Appends the kernel to the recorded list if unseen (frameworks that
   /// never call GetConvolution*Algorithm — the TensorFlow integration style,
   /// §IV-B2 — are recorded on first execution) and consumes the pending
@@ -152,6 +189,8 @@ class UcudnnHandle {
   Executor executor_;
   std::vector<KernelRequest> requests_;  // unique kernels
   std::string next_label_;
+  // Execution records in first-execution order, keyed by request label.
+  std::vector<std::pair<std::string, KernelExecRecord>> exec_records_;
 };
 
 // --- free-function overloads mirroring the mcudnn problem-level API -------

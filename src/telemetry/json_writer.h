@@ -1,0 +1,71 @@
+// Minimal streaming JSON writer shared by every telemetry export (trace,
+// metrics, execution report) and the bench artifact emitter. Hand-rolled on
+// purpose: the repo takes no JSON dependency, and the writer must stay
+// usable from static destructors (stdio/snprintf only, no iostreams).
+//
+// Layering contract (tools/check_layering.py): telemetry is a leaf — this
+// header includes only system headers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ucudnn::telemetry {
+
+/// Appends `text` to `out` with RFC 8259 string escaping (no surrounding
+/// quotes): ", \, control characters as \n \r \t or \u00XX.
+void append_json_escaped(std::string& out, const std::string& text);
+
+/// `text` as a quoted, escaped JSON string value.
+std::string json_quote(const std::string& text);
+
+/// `value` as a JSON number. JSON has no NaN/inf, so non-finite values
+/// render as null.
+std::string json_number(double value);
+
+/// Incremental JSON builder with automatic separators. Usage:
+///
+///   JsonWriter w;
+///   w.begin_object().key("rows").begin_array();
+///   w.begin_object().key("x").value(1.5).end_object();
+///   w.end_array().end_object();
+///   w.str();  // {"rows":[{"x":1.5}]}
+///
+/// The writer does not validate nesting beyond separator bookkeeping; the
+/// caller is responsible for balanced begin/end calls.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Member key inside an object; must be followed by exactly one value (or
+  /// begin_object/begin_array).
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(int v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(bool v);
+  JsonWriter& null_value();
+  /// Appends pre-rendered JSON verbatim as one value (caller guarantees it
+  /// is valid — e.g. output of json_quote/json_number).
+  JsonWriter& raw(const std::string& json);
+
+  const std::string& str() const noexcept { return out_; }
+
+ private:
+  /// Emits the pending "," before a new value/key when needed.
+  void separator();
+
+  std::string out_;
+  std::vector<bool> has_items_;  // one flag per open object/array
+  bool pending_key_ = false;     // key() just wrote "name": — no comma next
+};
+
+}  // namespace ucudnn::telemetry

@@ -1,11 +1,14 @@
 #include "telemetry/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <sstream>
+
+#include "telemetry/json_writer.h"
 
 namespace ucudnn::telemetry {
 
@@ -57,6 +60,29 @@ double histogram_bucket_upper_ms(int i) noexcept {
     return std::numeric_limits<double>::infinity();
   }
   return 1e-3 * std::pow(10.0, i);
+}
+
+double histogram_percentile_ms(const HistogramData& data,
+                               double quantile) noexcept {
+  if (data.count == 0) return 0.0;
+  quantile = std::clamp(quantile, 0.0, 1.0);
+  const double target = quantile * static_cast<double>(data.count);
+  double cumulative = 0.0;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    const double in_bucket = static_cast<double>(data.buckets[i]);
+    if (in_bucket == 0.0) continue;
+    if (cumulative + in_bucket >= target) {
+      const double lower = i == 0 ? 0.0 : histogram_bucket_upper_ms(i - 1);
+      const double upper = histogram_bucket_upper_ms(i);
+      if (!std::isfinite(upper)) return lower;  // open-ended overflow bucket
+      const double fraction =
+          std::clamp((target - cumulative) / in_bucket, 0.0, 1.0);
+      return lower + (upper - lower) * fraction;
+    }
+    cumulative += in_bucket;
+  }
+  // count > 0 guarantees some bucket satisfied cumulative + n >= target.
+  return histogram_bucket_upper_ms(kHistogramBuckets - 2);
 }
 
 void Histogram::observe_ms(double ms) noexcept {
@@ -170,6 +196,9 @@ std::string MetricsRegistry::to_text() const {
   for (const auto& [name, data] : snap.histograms) {
     os << name << ".count " << data.count << "\n";
     os << name << ".sum_ms " << data.sum_ms << "\n";
+    os << name << ".p50_ms " << histogram_percentile_ms(data, 0.50) << "\n";
+    os << name << ".p95_ms " << histogram_percentile_ms(data, 0.95) << "\n";
+    os << name << ".p99_ms " << histogram_percentile_ms(data, 0.99) << "\n";
     for (int i = 0; i < kHistogramBuckets; ++i) {
       // %g keeps the decade bounds readable ("0.1", not the full 17-digit
       // round-trip form the value stream uses).
@@ -179,6 +208,39 @@ std::string MetricsRegistry::to_text() const {
     }
   }
   return os.str();
+}
+
+std::string MetricsRegistry::to_json() const {
+  const MetricsSnapshot snap = snapshot();
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : snap.counters) w.key(name).value(value);
+  w.end_object();
+  w.key("double_counters").begin_object();
+  for (const auto& [name, value] : snap.double_counters) {
+    w.key(name).value(value);
+  }
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, value] : snap.gauges) w.key(name).value(value);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, data] : snap.histograms) {
+    w.key(name).begin_object();
+    w.key("count").value(data.count);
+    w.key("sum_ms").value(data.sum_ms);
+    w.key("p50_ms").value(histogram_percentile_ms(data, 0.50));
+    w.key("p95_ms").value(histogram_percentile_ms(data, 0.95));
+    w.key("p99_ms").value(histogram_percentile_ms(data, 0.99));
+    w.key("buckets").begin_array();
+    for (const std::uint64_t bucket : data.buckets) w.value(bucket);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
 }
 
 void MetricsRegistry::reset() {

@@ -94,6 +94,15 @@ struct HistogramData {
   double sum_ms = 0.0;
 };
 
+/// Interpolated percentile estimate (`quantile` in [0,1], clamped). The rank
+/// `quantile * count` is located in the cumulative bucket counts, then
+/// interpolated linearly within that decade bucket between its bounds (the
+/// first bucket's lower bound is 0). Ranks landing in the open-ended
+/// overflow bucket return its lower bound (10 s) — the histogram carries no
+/// upper bound to interpolate toward. Returns 0 for an empty histogram.
+double histogram_percentile_ms(const HistogramData& data,
+                               double quantile) noexcept;
+
 class Histogram {
  public:
   Histogram() = default;
@@ -131,7 +140,13 @@ class MetricsRegistry {
 
   MetricsSnapshot snapshot() const;
   /// Plain-text form, one "name value" line per metric, sorted by name.
+  /// Histograms add `.count`, `.sum_ms`, interpolated `.p50_ms`/`.p95_ms`/
+  /// `.p99_ms` estimates, and one `.le_<bound>ms` line per bucket.
   std::string to_text() const;
+  /// JSON form of the same snapshot (machine-readable artifact):
+  /// {"counters":{...},"double_counters":{...},"gauges":{...},
+  ///  "histograms":{name:{count,sum_ms,p50_ms,p95_ms,p99_ms,buckets:[...]}}}.
+  std::string to_json() const;
   /// Zeroes every cell; existing handles stay valid. Intended for tests
   /// that need a clean process-wide baseline.
   void reset();

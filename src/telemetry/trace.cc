@@ -3,7 +3,8 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <sstream>
+
+#include "telemetry/json_writer.h"
 
 namespace ucudnn::telemetry {
 
@@ -18,24 +19,29 @@ std::int64_t steady_ns() noexcept {
 // Per-thread nesting depth of active spans.
 thread_local std::uint32_t t_span_depth = 0;
 
-void append_json_escaped(std::string& out, const std::string& text) {
-  for (const char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
+// Chrome trace-event rendering, shared between to_json (snapshot copy) and
+// the destructor (events under the already-held lock). JsonWriter is
+// stdio-only, so this is safe during static destruction.
+std::string events_to_json(const std::vector<SpanEvent>& events) {
+  JsonWriter w;
+  w.begin_object().key("traceEvents").begin_array();
+  for (const SpanEvent& e : events) {
+    w.begin_object();
+    w.key("name").value(e.name);
+    w.key("cat").value("ucudnn");
+    w.key("ph").value("X");
+    w.key("ts").value(e.ts_us);
+    w.key("dur").value(e.dur_us);
+    w.key("pid").value(1);
+    w.key("tid").value(static_cast<std::int64_t>(e.tid));
+    w.key("args").begin_object();
+    w.key("depth").value(static_cast<std::int64_t>(e.depth));
+    if (!e.detail.empty()) w.key("detail").value(e.detail);
+    w.end_object();
+    w.end_object();
   }
+  w.end_array().end_object();
+  return w.str() + "\n";
 }
 
 }  // namespace
@@ -58,30 +64,10 @@ TraceRecorder::~TraceRecorder() {
   if (trace_path_.empty()) return;
   std::lock_guard<std::mutex> lock(mutex_);
   if (events_.empty()) return;
-  // Inline (rather than via write_chrome_trace) to avoid re-locking; stdio
-  // only, since iostreams may already be torn down at static destruction.
+  // Renders from events_ directly (rather than via write_chrome_trace) to
+  // avoid re-locking during static destruction.
   if (std::FILE* f = std::fopen(trace_path_.c_str(), "w")) {
-    std::string json = "{\"traceEvents\":[";
-    bool first = true;
-    for (const SpanEvent& e : events_) {
-      if (!first) json += ",";
-      first = false;
-      json += "\n{\"name\":\"";
-      append_json_escaped(json, e.name);
-      char buf[160];
-      std::snprintf(buf, sizeof(buf),
-                    "\",\"cat\":\"ucudnn\",\"ph\":\"X\",\"ts\":%.3f,"
-                    "\"dur\":%.3f,\"pid\":1,\"tid\":%u,\"args\":{\"depth\":%u",
-                    e.ts_us, e.dur_us, e.tid, e.depth);
-      json += buf;
-      if (!e.detail.empty()) {
-        json += ",\"detail\":\"";
-        append_json_escaped(json, e.detail);
-        json += "\"";
-      }
-      json += "}}";
-    }
-    json += "\n]}\n";
+    const std::string json = events_to_json(events_);
     std::fwrite(json.data(), 1, json.size(), f);
     std::fclose(f);
   }
@@ -97,26 +83,7 @@ std::vector<SpanEvent> TraceRecorder::events() const {
   return events_;
 }
 
-std::string TraceRecorder::to_json() const {
-  const std::vector<SpanEvent> copy = events();
-  std::ostringstream os;
-  os << "{\"traceEvents\":[";
-  bool first = true;
-  for (const SpanEvent& e : copy) {
-    if (!first) os << ",";
-    first = false;
-    std::string name, detail;
-    append_json_escaped(name, e.name);
-    append_json_escaped(detail, e.detail);
-    os << "\n{\"name\":\"" << name << "\",\"cat\":\"ucudnn\",\"ph\":\"X\""
-       << ",\"ts\":" << e.ts_us << ",\"dur\":" << e.dur_us
-       << ",\"pid\":1,\"tid\":" << e.tid << ",\"args\":{\"depth\":" << e.depth;
-    if (!detail.empty()) os << ",\"detail\":\"" << detail << "\"";
-    os << "}}";
-  }
-  os << "\n]}\n";
-  return os.str();
-}
+std::string TraceRecorder::to_json() const { return events_to_json(events()); }
 
 void TraceRecorder::write_chrome_trace(const std::string& path) const {
   const std::string json = to_json();

@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "json_validator.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
@@ -104,6 +105,73 @@ TEST(MetricsTest, HistogramBucketBoundaries) {
   EXPECT_EQ(data.buckets[kHistogramBuckets - 1], 1u);
   EXPECT_EQ(data.count, 3u);
   EXPECT_DOUBLE_EQ(data.sum_ms, 1e-3 + 0.5 + 2e4);
+}
+
+TEST(MetricsTest, PercentilesInterpolateWithinOneBucket) {
+  // A single observation in bucket 3 (bounds (0.1, 1.0]): the estimator
+  // interpolates linearly across the bucket, so pXX lands at
+  // lower + (upper - lower) * q.
+  HistogramData data;
+  data.buckets[3] = 1;
+  data.count = 1;
+  EXPECT_DOUBLE_EQ(histogram_percentile_ms(data, 0.50), 0.1 + 0.9 * 0.50);
+  EXPECT_DOUBLE_EQ(histogram_percentile_ms(data, 0.95), 0.1 + 0.9 * 0.95);
+  EXPECT_DOUBLE_EQ(histogram_percentile_ms(data, 0.99), 0.1 + 0.9 * 0.99);
+  // q=0 pins to the bucket's lower bound, q=1 to its upper bound.
+  EXPECT_DOUBLE_EQ(histogram_percentile_ms(data, 0.0), 0.1);
+  EXPECT_DOUBLE_EQ(histogram_percentile_ms(data, 1.0), 1.0);
+}
+
+TEST(MetricsTest, PercentilesCrossBucketsAtTheRightRank) {
+  // 9 fast observations in bucket 0 ((0, 0.001]) and 1 slow one in bucket 3
+  // ((0.1, 1.0]), count = 10. p50 (rank 5) stays inside bucket 0 at 5/9 of
+  // its width; p95 (rank 9.5) and p99 (rank 9.9) fall into the slow bucket.
+  HistogramData data;
+  data.buckets[0] = 9;
+  data.buckets[3] = 1;
+  data.count = 10;
+  EXPECT_DOUBLE_EQ(histogram_percentile_ms(data, 0.50), 1e-3 * (5.0 / 9.0));
+  EXPECT_DOUBLE_EQ(histogram_percentile_ms(data, 0.95), 0.1 + 0.9 * 0.5);
+  EXPECT_DOUBLE_EQ(histogram_percentile_ms(data, 0.99), 0.1 + 0.9 * 0.9);
+}
+
+TEST(MetricsTest, PercentileEdgeCases) {
+  // Empty histogram reports 0 for every quantile.
+  HistogramData empty;
+  EXPECT_DOUBLE_EQ(histogram_percentile_ms(empty, 0.50), 0.0);
+  EXPECT_DOUBLE_EQ(histogram_percentile_ms(empty, 0.99), 0.0);
+
+  // The overflow bucket is open-ended, so percentiles landing there clamp
+  // to its lower bound (the last finite decade, 10 s) instead of inf.
+  HistogramData overflow;
+  overflow.buckets[kHistogramBuckets - 1] = 4;
+  overflow.count = 4;
+  EXPECT_DOUBLE_EQ(histogram_percentile_ms(overflow, 0.99), 1e4);
+
+  // Out-of-range quantiles clamp to [0, 1].
+  HistogramData one;
+  one.buckets[3] = 1;
+  one.count = 1;
+  EXPECT_DOUBLE_EQ(histogram_percentile_ms(one, -1.0), 0.1);
+  EXPECT_DOUBLE_EQ(histogram_percentile_ms(one, 2.0), 1.0);
+}
+
+TEST(MetricsTest, TextAndJsonExposePercentiles) {
+  MetricsRegistry& registry = MetricsRegistry::instance();
+  Histogram h = registry.histogram("test.pct.histogram");
+  h.observe_ms(0.5);  // single observation in bucket 3
+
+  const std::string text = registry.to_text();
+  EXPECT_NE(text.find("test.pct.histogram.p50_ms "), std::string::npos);
+  EXPECT_NE(text.find("test.pct.histogram.p95_ms "), std::string::npos);
+  EXPECT_NE(text.find("test.pct.histogram.p99_ms "), std::string::npos);
+
+  const std::string json = registry.to_json();
+  EXPECT_TRUE(ucudnn::test::JsonValidator(json).validate())
+      << "metrics JSON is malformed";
+  EXPECT_NE(json.find("\"test.pct.histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50_ms\":0.55"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":["), std::string::npos);
 }
 
 TEST(MetricsTest, SnapshotAndTextCoverEveryKind) {

@@ -1,0 +1,361 @@
+#!/usr/bin/env python3
+"""Diff two bench-artifact directories and flag performance regressions.
+
+The bench binaries (bench/*.cc) write one BENCH_<name>.json per run when
+given `--json-dir <dir>` (or UCUDNN_BENCH_JSON_DIR), schema "ucudnn-bench-v1":
+
+    {
+      "schema": "ucudnn-bench-v1",
+      "name":   "fig09_wr_conv2",
+      "config": {"device": "P100-SXM2", ...},        # scalars only
+      "rows":   [{"policy": "powerOfTwo", "time_ms": 1.23, ...}, ...],
+      "paper":  {"all_speedup": 2.33, ...}           # reference constants
+    }
+
+Rows are matched between the two runs by their string-valued cells (the row
+identity: policy, layer, device, ...); rows sharing an identity (e.g. the
+same device+policy at several workspace sizes) are paired by order of
+occurrence. Numeric cells are metrics; regression rules by key name:
+
+  *_ms / *_msec  : lower is better — regress when new > old * (1 + threshold)
+  *speedup*      : higher is better — regress when new < old * (1 - threshold)
+  anything else  : informational, never a regression
+
+Modes:
+  bench_compare.py OLD_DIR NEW_DIR [--threshold 0.10]   # diff two runs
+  bench_compare.py --check DIR                          # schema validation
+  bench_compare.py --self-test                          # built-in test cases
+
+Exit codes: 0 ok, 1 regression found, 2 schema/usage error.
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+import tempfile
+
+SCHEMA = "ucudnn-bench-v1"
+DEFAULT_THRESHOLD = 0.10
+
+
+def fail(msg):
+    print("bench_compare: error: %s" % msg, file=sys.stderr)
+    sys.exit(2)
+
+
+def _scalar_ok(v):
+    if isinstance(v, bool):
+        return False
+    if isinstance(v, (int, float)):
+        return math.isfinite(v)
+    return isinstance(v, str)
+
+
+def validate_artifact(path, doc):
+    """Returns a list of schema problems ([] = valid)."""
+    problems = []
+    base = os.path.basename(path)
+
+    def bad(msg):
+        problems.append("%s: %s" % (base, msg))
+
+    if not isinstance(doc, dict):
+        bad("top level is not an object")
+        return problems
+    if doc.get("schema") != SCHEMA:
+        bad("schema is %r, expected %r" % (doc.get("schema"), SCHEMA))
+    name = doc.get("name")
+    if not isinstance(name, str) or not name:
+        bad("missing or non-string 'name'")
+    elif base != "BENCH_%s.json" % name:
+        bad("filename does not match name %r" % name)
+    config = doc.get("config")
+    if not isinstance(config, dict):
+        bad("'config' is not an object")
+    else:
+        for k, v in config.items():
+            if not _scalar_ok(v):
+                bad("config[%r] is not a finite scalar" % k)
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        bad("'rows' is not a non-empty list")
+    else:
+        for i, row in enumerate(rows):
+            if not isinstance(row, dict) or not row:
+                bad("rows[%d] is not a non-empty object" % i)
+                continue
+            for k, v in row.items():
+                if not _scalar_ok(v):
+                    bad("rows[%d][%r] is not a finite scalar" % (i, k))
+    paper = doc.get("paper")
+    if not isinstance(paper, dict):
+        bad("'paper' is not an object")
+    else:
+        for k, v in paper.items():
+            if isinstance(v, bool) or not isinstance(v, (int, float)):
+                bad("paper[%r] is not a number" % k)
+    return problems
+
+
+def load_dir(directory):
+    """Returns {artifact name: doc}; exits 2 on unreadable/invalid files."""
+    if not os.path.isdir(directory):
+        fail("%s is not a directory" % directory)
+    docs = {}
+    problems = []
+    for entry in sorted(os.listdir(directory)):
+        if not (entry.startswith("BENCH_") and entry.endswith(".json")):
+            continue
+        path = os.path.join(directory, entry)
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            problems.append("%s: unreadable (%s)" % (entry, e))
+            continue
+        problems.extend(validate_artifact(path, doc))
+        if isinstance(doc, dict) and isinstance(doc.get("name"), str):
+            docs[doc["name"]] = doc
+    if problems:
+        for p in problems:
+            print("bench_compare: %s" % p, file=sys.stderr)
+        sys.exit(2)
+    if not docs:
+        fail("no BENCH_*.json artifacts in %s" % directory)
+    return docs
+
+
+def row_identity(row):
+    """The row's string cells, as a hashable key."""
+    return tuple(sorted((k, v) for k, v in row.items() if isinstance(v, str)))
+
+
+def metric_direction(key):
+    """'lower', 'higher', or None (informational)."""
+    lowered = key.lower()
+    if lowered.endswith("_ms") or lowered.endswith("_msec"):
+        return "lower"
+    if "speedup" in lowered:
+        return "higher"
+    return None
+
+
+def compare_dirs(old_dir, new_dir, threshold):
+    old_docs = load_dir(old_dir)
+    new_docs = load_dir(new_dir)
+    regressions = []
+    compared = 0
+    for name, new_doc in sorted(new_docs.items()):
+        old_doc = old_docs.get(name)
+        if old_doc is None:
+            print("bench_compare: note: %s only in %s" % (name, new_dir))
+            continue
+        old_rows = {}
+        for row in old_doc["rows"]:
+            old_rows.setdefault(row_identity(row), []).append(row)
+        # Rows with the same identity (string cells) are paired in order of
+        # occurrence, so e.g. repeated device+policy rows across workspace
+        # sizes each diff against their own baseline.
+        seen = {}
+        for row in new_doc["rows"]:
+            ident = row_identity(row)
+            ordinal = seen.get(ident, 0)
+            seen[ident] = ordinal + 1
+            candidates = old_rows.get(ident, [])
+            if ordinal >= len(candidates):
+                continue  # new row with no baseline counterpart
+            old_row = candidates[ordinal]
+            for key, new_val in row.items():
+                if isinstance(new_val, str):
+                    continue
+                direction = metric_direction(key)
+                if direction is None:
+                    continue
+                old_val = old_row.get(key)
+                if not isinstance(old_val, (int, float)) or isinstance(old_val, bool):
+                    continue
+                if old_val == 0:
+                    continue  # no meaningful ratio
+                compared += 1
+                ratio = new_val / old_val
+                label = ", ".join("%s=%s" % kv for kv in ident)
+                if direction == "lower" and ratio > 1 + threshold:
+                    regressions.append(
+                        "%s [%s] %s: %.4g -> %.4g (+%.1f%%, threshold %.0f%%)"
+                        % (name, label, key, old_val, new_val,
+                           100 * (ratio - 1), 100 * threshold))
+                elif direction == "higher" and ratio < 1 - threshold:
+                    regressions.append(
+                        "%s [%s] %s: %.4g -> %.4g (-%.1f%%, threshold %.0f%%)"
+                        % (name, label, key, old_val, new_val,
+                           100 * (1 - ratio), 100 * threshold))
+    print("bench_compare: %d metric(s) compared, %d regression(s)"
+          % (compared, len(regressions)))
+    for r in regressions:
+        print("bench_compare: REGRESSION: %s" % r)
+    return 1 if regressions else 0
+
+
+def check_dir(directory):
+    docs = load_dir(directory)  # exits 2 on schema problems
+    total_rows = sum(len(doc["rows"]) for doc in docs.values())
+    print("bench_compare: %d artifact(s) valid (%d rows): %s"
+          % (len(docs), total_rows, ", ".join(sorted(docs))))
+    return 0
+
+
+# --- self-test --------------------------------------------------------------
+
+def _write_artifact(directory, name, rows, config=None, paper=None,
+                    schema=SCHEMA, filename=None):
+    doc = {
+        "schema": schema,
+        "name": name,
+        "config": config if config is not None else {"device": "test"},
+        "rows": rows,
+        "paper": paper if paper is not None else {},
+    }
+    path = os.path.join(directory, filename or ("BENCH_%s.json" % name))
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f)
+
+
+def _run_in_subprocess(fn, *args):
+    """Runs fn(*args) catching SystemExit; returns the exit code."""
+    try:
+        return fn(*args)
+    except SystemExit as e:
+        return e.code if isinstance(e.code, int) else 2
+
+
+def self_test():
+    failures = []
+
+    def expect(label, got, want):
+        if got != want:
+            failures.append("%s: exit %r, wanted %r" % (label, got, want))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        old = os.path.join(tmp, "old")
+        new_ok = os.path.join(tmp, "new_ok")
+        new_bad = os.path.join(tmp, "new_bad")
+        broken = os.path.join(tmp, "broken")
+        for d in (old, new_ok, new_bad, broken):
+            os.mkdir(d)
+
+        base_rows = [
+            {"policy": "undivided", "time_ms": 10.0, "speedup": 1.0},
+            {"policy": "all", "time_ms": 5.0, "speedup": 2.0},
+        ]
+        _write_artifact(old, "figX", base_rows)
+
+        # Pass: within threshold (5% slower, 10% allowed), speedup improved.
+        _write_artifact(new_ok, "figX", [
+            {"policy": "undivided", "time_ms": 10.5, "speedup": 1.0},
+            {"policy": "all", "time_ms": 4.8, "speedup": 2.08},
+        ])
+        expect("pass case", _run_in_subprocess(
+            compare_dirs, old, new_ok, DEFAULT_THRESHOLD), 0)
+
+        # Regress: time_ms +50% and speedup -25%.
+        _write_artifact(new_bad, "figX", [
+            {"policy": "undivided", "time_ms": 15.0, "speedup": 1.0},
+            {"policy": "all", "time_ms": 5.0, "speedup": 1.5},
+        ])
+        expect("regress case", _run_in_subprocess(
+            compare_dirs, old, new_bad, DEFAULT_THRESHOLD), 1)
+
+        # A looser threshold lets the same diff pass.
+        expect("loose threshold", _run_in_subprocess(
+            compare_dirs, old, new_bad, 0.60), 0)
+
+        # Check mode accepts the valid dir.
+        expect("check valid", _run_in_subprocess(check_dir, old), 0)
+
+        # Rows sharing an identity (same string cells, different numeric
+        # workspace column) pair by order of occurrence: a directory compared
+        # against itself is clean, and a regression in the second duplicate
+        # row is attributed to that row's own baseline.
+        dup_old = os.path.join(tmp, "dup_old")
+        dup_new = os.path.join(tmp, "dup_new")
+        os.mkdir(dup_old)
+        os.mkdir(dup_new)
+        dup_rows = [
+            {"policy": "all", "ws_mib": 8.0, "time_ms": 20.0},
+            {"policy": "all", "ws_mib": 64.0, "time_ms": 5.0},
+        ]
+        _write_artifact(dup_old, "figD", dup_rows)
+        _write_artifact(dup_new, "figD", dup_rows)
+        expect("duplicate identity self-compare", _run_in_subprocess(
+            compare_dirs, dup_old, dup_new, DEFAULT_THRESHOLD), 0)
+        _write_artifact(dup_new, "figD", [
+            {"policy": "all", "ws_mib": 8.0, "time_ms": 20.0},
+            {"policy": "all", "ws_mib": 64.0, "time_ms": 9.0},
+        ])
+        expect("duplicate identity regression", _run_in_subprocess(
+            compare_dirs, dup_old, dup_new, DEFAULT_THRESHOLD), 1)
+
+        # Schema errors: wrong schema tag, empty rows, filename mismatch.
+        _write_artifact(broken, "figY", base_rows, schema="bogus-v0")
+        expect("check wrong schema", _run_in_subprocess(check_dir, broken), 2)
+        os.remove(os.path.join(broken, "BENCH_figY.json"))
+        _write_artifact(broken, "figZ", [])
+        expect("check empty rows", _run_in_subprocess(check_dir, broken), 2)
+        os.remove(os.path.join(broken, "BENCH_figZ.json"))
+        _write_artifact(broken, "figW", base_rows,
+                        filename="BENCH_other.json")
+        expect("check name mismatch", _run_in_subprocess(check_dir, broken), 2)
+        os.remove(os.path.join(broken, "BENCH_other.json"))
+        with open(os.path.join(broken, "BENCH_junk.json"), "w",
+                  encoding="utf-8") as f:
+            f.write("{not json")
+        expect("check unparseable", _run_in_subprocess(check_dir, broken), 2)
+
+        # Unit checks on the classification helpers.
+        if metric_direction("time_ms") != "lower":
+            failures.append("time_ms should be lower-better")
+        if metric_direction("conv_speedup") != "higher":
+            failures.append("conv_speedup should be higher-better")
+        if metric_direction("front_size") is not None:
+            failures.append("front_size should be informational")
+        if row_identity({"a": "x", "n": 1.0}) != (("a", "x"),):
+            failures.append("row_identity should keep only string cells")
+
+    if failures:
+        for f in failures:
+            print("bench_compare self-test FAIL: %s" % f, file=sys.stderr)
+        return 1
+    print("bench_compare self-test: all cases passed")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Compare ucudnn bench artifacts (see module docstring).")
+    parser.add_argument("dirs", nargs="*", metavar="DIR",
+                        help="OLD_DIR NEW_DIR for comparison")
+    parser.add_argument("--check", metavar="DIR",
+                        help="validate every BENCH_*.json in DIR")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="relative regression threshold (default 0.10)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in test cases")
+    args = parser.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test())
+    if args.check:
+        if args.dirs:
+            fail("--check takes no positional directories")
+        sys.exit(check_dir(args.check))
+    if len(args.dirs) != 2:
+        fail("expected OLD_DIR NEW_DIR (or --check DIR / --self-test)")
+    if args.threshold <= 0:
+        fail("--threshold must be positive")
+    sys.exit(compare_dirs(args.dirs[0], args.dirs[1], args.threshold))
+
+
+if __name__ == "__main__":
+    main()

@@ -193,6 +193,13 @@ def self_test() -> int:
         # ...but everyone may include telemetry.
         ("src/core/planner.cc", '#include "telemetry/metrics.h"\n', 0),
         ("src/frameworks/caffepp/net.cc", '#include "telemetry/trace.h"\n', 0),
+        # The report/json_writer pair is covered by the same leaf rule: they
+        # may include each other but never reach back into core or common.
+        ("src/telemetry/report.cc", '#include "telemetry/json_writer.h"\n', 0),
+        ("src/telemetry/json_writer.cc",
+         '#include "telemetry/json_writer.h"\n', 0),
+        ("src/telemetry/report.cc", '#include "core/plan.h"\n', 1),
+        ("src/telemetry/json_writer.h", '#include "common/env.h"\n', 1),
     ]
     failures = []
     for rel, text, expected in cases:
