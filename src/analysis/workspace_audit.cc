@@ -2,12 +2,12 @@
 
 #include <atomic>
 #include <cstring>
-#include <mutex>
 #include <vector>
 
 #include "common/env.h"
 #include "common/logging.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "telemetry/metrics.h"
 
 namespace ucudnn::analysis {
@@ -17,8 +17,8 @@ namespace {
 // -1 = read UCUDNN_AUDIT_WORKSPACE lazily; 0/1 = forced.
 std::atomic<int> g_audit_override{-1};
 
-std::mutex g_stats_mutex;
-std::map<std::string, AuditStats>& stats_registry() {
+Mutex g_stats_mutex{"analysis.audit_stats"};
+std::map<std::string, AuditStats>& stats_registry() REQUIRES(g_stats_mutex) {
   static std::map<std::string, AuditStats> registry;
   return registry;
 }
@@ -102,7 +102,7 @@ std::size_t AuditedBuffer::touched_bytes() const noexcept {
 
 void record_audit(const std::string& kernel, std::size_t declared,
                   std::size_t touched) {
-  const std::lock_guard<std::mutex> lock(g_stats_mutex);
+  const MutexLock lock(g_stats_mutex);
   AuditStats& stats = stats_registry()[kernel];
   if (declared > stats.declared_bytes) stats.declared_bytes = declared;
   if (touched > stats.max_touched) stats.max_touched = touched;
@@ -119,12 +119,12 @@ void record_audit(const std::string& kernel, std::size_t declared,
 }
 
 std::map<std::string, AuditStats> audit_report() {
-  const std::lock_guard<std::mutex> lock(g_stats_mutex);
+  const MutexLock lock(g_stats_mutex);
   return stats_registry();
 }
 
 void reset_audit_stats() {
-  const std::lock_guard<std::mutex> lock(g_stats_mutex);
+  const MutexLock lock(g_stats_mutex);
   stats_registry().clear();
 }
 

@@ -139,7 +139,7 @@ void FaultInjector::configure(const std::string& spec) {
 
   bool any_enabled = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     specs_ = specs;
     for (std::size_t i = 0; i < kFaultSiteCount; ++i) {
       stats_[i] = FaultSiteStats{};
@@ -156,7 +156,7 @@ void FaultInjector::configure(const std::string& spec) {
 bool FaultInjector::should_fail(FaultSite site) {
   if (!armed()) return false;
   const auto i = static_cast<std::size_t>(site);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const FaultSpec& spec = specs_[i];
   if (!spec.enabled) return false;
   FaultSiteStats& stats = stats_[i];
@@ -187,17 +187,17 @@ void FaultInjector::fail_point(FaultSite site) {
 }
 
 FaultSpec FaultInjector::spec(FaultSite site) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return specs_[static_cast<std::size_t>(site)];
 }
 
 FaultSiteStats FaultInjector::stats(FaultSite site) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_[static_cast<std::size_t>(site)];
 }
 
 void FaultInjector::reset_counters() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (std::size_t i = 0; i < kFaultSiteCount; ++i) {
     stats_[i] = FaultSiteStats{};
     rngs_[i].seed(specs_[i].seed);

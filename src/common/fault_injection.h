@@ -37,10 +37,11 @@
 #include <atomic>
 #include <cstdint>
 #include <limits>
-#include <mutex>
 #include <random>
 #include <string>
 #include <string_view>
+
+#include "common/thread_annotations.h"
 
 namespace ucudnn {
 
@@ -112,10 +113,10 @@ class FaultInjector {
  private:
   FaultInjector();
 
-  mutable std::mutex mutex_;
-  std::array<FaultSpec, kFaultSiteCount> specs_{};
-  std::array<FaultSiteStats, kFaultSiteCount> stats_{};
-  std::array<std::mt19937_64, kFaultSiteCount> rngs_{};
+  mutable Mutex mutex_{"FaultInjector"};
+  std::array<FaultSpec, kFaultSiteCount> specs_ GUARDED_BY(mutex_){};
+  std::array<FaultSiteStats, kFaultSiteCount> stats_ GUARDED_BY(mutex_){};
+  std::array<std::mt19937_64, kFaultSiteCount> rngs_ GUARDED_BY(mutex_){};
   std::atomic<bool> armed_{false};
 };
 

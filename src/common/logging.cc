@@ -14,19 +14,19 @@ Logger& Logger::instance() {
 Logger::Logger() : level_(LogLevel::kWarn) {
   const std::string value = env_string("UCUDNN_LOG_LEVEL", "warn");
   if (value == "error") {
-    level_ = LogLevel::kError;
+    set_level(LogLevel::kError);
   } else if (value == "warn") {
-    level_ = LogLevel::kWarn;
+    set_level(LogLevel::kWarn);
   } else if (value == "info") {
-    level_ = LogLevel::kInfo;
+    set_level(LogLevel::kInfo);
   } else if (value == "debug") {
-    level_ = LogLevel::kDebug;
+    set_level(LogLevel::kDebug);
   }
 }
 
 void Logger::write(LogLevel level, const std::string& message) {
   static constexpr const char* kTags[] = {"E", "W", "I", "D"};
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::fprintf(stderr, "[ucudnn %s] %s\n",
                kTags[static_cast<int>(level)], message.c_str());
 }

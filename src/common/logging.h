@@ -2,9 +2,11 @@
 // (error|warn|info|debug) and defaults to warn.
 #pragma once
 
-#include <mutex>
+#include <atomic>
 #include <sstream>
 #include <string>
+
+#include "common/thread_annotations.h"
 
 namespace ucudnn {
 
@@ -15,11 +17,15 @@ class Logger {
  public:
   static Logger& instance();
 
-  LogLevel level() const noexcept { return level_; }
-  void set_level(LogLevel level) noexcept { level_ = level; }
+  LogLevel level() const noexcept {
+    return level_.load(std::memory_order_relaxed);
+  }
+  void set_level(LogLevel level) noexcept {
+    level_.store(level, std::memory_order_relaxed);
+  }
 
   bool enabled(LogLevel level) const noexcept {
-    return static_cast<int>(level) <= static_cast<int>(level_);
+    return static_cast<int>(level) <= static_cast<int>(this->level());
   }
 
   /// Writes one formatted line to stderr (thread-safe).
@@ -27,8 +33,10 @@ class Logger {
 
  private:
   Logger();
-  LogLevel level_;
-  std::mutex mutex_;
+  // Atomic: enabled() runs unlocked on every UCUDNN_LOG site while
+  // set_level may race from another thread (the old plain enum raced).
+  std::atomic<LogLevel> level_;
+  Mutex mutex_{"Logger"};
 };
 
 namespace detail {

@@ -1,0 +1,475 @@
+// Thread-safety annotations + the locking vocabulary of the whole library.
+//
+// Two tiers of concurrency checking share this header (docs/analysis.md):
+//
+//  * STATIC: portable wrappers for Clang Thread Safety Analysis attributes
+//    (GUARDED_BY, REQUIRES, ACQUIRE/RELEASE, ...) plus capability-annotated
+//    Mutex / MutexLock / CondVar wrappers around the std primitives. Under
+//    the `tsa` CMake preset (Clang, -Wthread-safety -Werror=thread-safety)
+//    every access to a GUARDED_BY member is proven to hold its mutex at
+//    compile time; under GCC the attributes expand to nothing and the
+//    wrappers cost exactly what the std types cost.
+//
+//  * RUNTIME: in builds compiling with UCUDNN_LOCK_ORDER_DETECTOR (Debug and
+//    sanitizer presets; compiled out entirely otherwise), every Mutex feeds a
+//    process-wide lock-order registry — a per-thread held-lock stack and a
+//    global acquired-after edge graph with cycle detection at acquire time.
+//    A potential-deadlock inversion (an A->B acquisition when B->A was ever
+//    observed, transitively) reports both lock names and both held stacks,
+//    then aborts (tests install a handler instead). Gated at runtime by
+//    UCUDNN_LOCK_ORDER=1 or lockorder::set_enabled. Observed edges are
+//    exported through the telemetry registry
+//    (telemetry::sync_lock_order_metrics).
+//
+// Raw std::mutex / std::lock_guard / std::condition_variable declarations
+// outside this header are rejected by tools/check_thread_safety.py (a ctest
+// lint), so new code cannot bypass the analysis.
+//
+// Layering contract (tools/check_layering.py): this header is a leaf like
+// src/telemetry — includable from every layer, itself including only system
+// headers (environment gating therefore reads std::getenv directly).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>  // thread-safety: allow (wrapped below)
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iterator>
+#include <map>
+#include <mutex>  // thread-safety: allow (wrapped below)
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+// ---------------------------------------------------------------------------
+// Clang Thread Safety Analysis attribute macros. GCC (and Clang without the
+// attribute) compile them away; the declarations they decorate are portable.
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define UCUDNN_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef UCUDNN_THREAD_ANNOTATION
+#define UCUDNN_THREAD_ANNOTATION(x)
+#endif
+
+#define CAPABILITY(x) UCUDNN_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY UCUDNN_THREAD_ANNOTATION(scoped_lockable)
+#define GUARDED_BY(x) UCUDNN_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) UCUDNN_THREAD_ANNOTATION(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) \
+  UCUDNN_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  UCUDNN_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) \
+  UCUDNN_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  UCUDNN_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) UCUDNN_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define RELEASE(...) UCUDNN_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  UCUDNN_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) UCUDNN_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define RETURN_CAPABILITY(x) UCUDNN_THREAD_ANNOTATION(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  UCUDNN_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace ucudnn {
+
+class Mutex;
+
+// ---------------------------------------------------------------------------
+// Runtime lock-order detector (see header comment). Everything in this
+// namespace collapses to no-ops / empty results when the detector is not
+// compiled in.
+// ---------------------------------------------------------------------------
+namespace lockorder {
+
+#ifdef UCUDNN_LOCK_ORDER_DETECTOR
+inline constexpr bool kCompiledIn = true;
+#else
+inline constexpr bool kCompiledIn = false;
+#endif
+
+/// One observed acquired-after edge: `to` was acquired while `from` was held.
+struct Edge {
+  std::string from;      ///< name of the held lock
+  std::string to;        ///< name of the lock acquired under it
+  std::uint64_t count;   ///< how many acquisitions observed the edge
+};
+
+/// A detected potential-deadlock inversion.
+struct Violation {
+  std::string message;                   ///< one-line diagnosis
+  std::vector<std::string> held_stack;   ///< names held at detection time
+  std::vector<std::string> prior_stack;  ///< names held when the reverse
+                                         ///< edge was first recorded
+};
+
+using ViolationHandler = void (*)(const Violation&);
+
+#ifdef UCUDNN_LOCK_ORDER_DETECTOR
+
+namespace detail {
+
+struct HeldLock {
+  const void* mutex;
+  std::uint64_t id;
+  const char* name;
+};
+
+/// True once this thread's held stack has been (or is being) destroyed.
+/// A static singleton's Mutex can be locked from a static destructor AFTER
+/// __call_tls_dtors has already destroyed the thread's TLS objects (e.g.
+/// ~ThreadPool at exit); bookkeeping must be skipped then — the bool is
+/// trivially destructible, so it stays readable in TLS storage forever.
+inline bool& tls_stack_dead() {
+  thread_local bool dead = false;
+  return dead;
+}
+
+struct TlsStackGuard {
+  ~TlsStackGuard() { tls_stack_dead() = true; }
+};
+
+inline std::vector<HeldLock>& held_stack() {
+  thread_local std::vector<HeldLock> stack;
+  // Constructed after `stack`, so destroyed before it: `dead` is set before
+  // the vector's heap buffer is freed.
+  thread_local TlsStackGuard guard;
+  return stack;
+}
+
+struct EdgeInfo {
+  const char* from_name;
+  const char* to_name;
+  std::uint64_t count = 0;
+  std::vector<std::string> first_stack;  // held names when first recorded
+};
+
+/// Process-wide edge graph. Intentionally leaked (never destroyed): Mutex
+/// destructors of static singletons may run after any static registry would
+/// have been torn down.
+struct Registry {
+  std::mutex mu;  // thread-safety: allow (the detector's own internal lock)
+  std::uint64_t next_id = 1;
+  std::map<const void*, std::uint64_t> ids;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, EdgeInfo> edges;
+  std::map<std::uint64_t, std::set<std::uint64_t>> successors;
+  ViolationHandler handler = nullptr;
+
+  std::uint64_t intern(const void* mutex) {
+    auto [it, inserted] = ids.emplace(mutex, next_id);
+    if (inserted) ++next_id;
+    return it->second;
+  }
+
+  /// Depth-first reachability over `successors` (is `target` reachable from
+  /// `from`?). The graph is the set of observed acquired-after edges, so a
+  /// hit means acquiring `from`'s lock while holding `target`'s reverses an
+  /// established order somewhere in the process.
+  bool reachable(std::uint64_t from, std::uint64_t target) const {
+    std::vector<std::uint64_t> frontier{from};
+    std::set<std::uint64_t> visited;
+    while (!frontier.empty()) {
+      const std::uint64_t node = frontier.back();
+      frontier.pop_back();
+      if (node == target) return true;
+      if (!visited.insert(node).second) continue;
+      const auto it = successors.find(node);
+      if (it == successors.end()) continue;
+      for (const std::uint64_t next : it->second) frontier.push_back(next);
+    }
+    return false;
+  }
+};
+
+inline Registry& registry() {
+  static Registry* r = new Registry();  // leaked, see struct comment
+  return *r;
+}
+
+inline void default_violation_handler(const Violation& v) {
+  std::fprintf(stderr, "[ucudnn lock-order] FATAL: %s\n", v.message.c_str());
+  std::fprintf(stderr, "  held now:");
+  for (const std::string& name : v.held_stack) {
+    std::fprintf(stderr, " %s", name.c_str());
+  }
+  std::fprintf(stderr, "\n  held when the reverse order was recorded:");
+  for (const std::string& name : v.prior_stack) {
+    std::fprintf(stderr, " %s", name.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  std::abort();
+}
+
+}  // namespace detail
+
+/// Whether the detector is active: compiled in AND (programmatic override,
+/// else UCUDNN_LOCK_ORDER env truthy). The env is read once per process.
+inline std::atomic<int>& override_flag() {
+  static std::atomic<int> flag{-1};  // -1 = defer to the environment
+  return flag;
+}
+
+inline bool enabled() {
+  const int forced = override_flag().load(std::memory_order_relaxed);
+  if (forced >= 0) return forced != 0;
+  static const bool from_env = [] {
+    // std::getenv, not common/env.h: this header is a leaf.
+    const char* raw = std::getenv("UCUDNN_LOCK_ORDER");
+    return raw != nullptr && raw[0] != '\0' && std::strcmp(raw, "0") != 0 &&
+           std::strcmp(raw, "false") != 0 && std::strcmp(raw, "off") != 0;
+  }();
+  return from_env;
+}
+
+inline void set_enabled(bool on) {
+  override_flag().store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+/// Installs a handler invoked instead of report-and-abort (tests). Passing
+/// nullptr restores the default.
+inline void set_violation_handler(ViolationHandler handler) {
+  detail::Registry& reg = detail::registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);  // thread-safety: allow
+  reg.handler = handler;
+}
+
+/// Called by Mutex just before blocking on an acquisition: records the
+/// acquired-after edges from every currently-held lock, detects inversions,
+/// and pushes the lock onto the calling thread's held stack. Recording
+/// before the block means a true deadlock still gets diagnosed first.
+inline void on_acquire(const void* mutex, const char* name) {
+  if (!enabled()) return;
+  if (detail::tls_stack_dead()) return;  // TLS teardown: lock works, no edges
+  auto& stack = detail::held_stack();
+  detail::Registry& reg = detail::registry();
+  Violation violation;
+  bool violated = false;
+  ViolationHandler handler = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(reg.mu);  // thread-safety: allow
+    const std::uint64_t id = reg.intern(mutex);
+    for (const detail::HeldLock& held : stack) {
+      if (held.id == id) continue;  // re-entrant paths are TSA's problem
+      // Inversion: this thread wants held -> id, but id ->* held exists.
+      if (reg.reachable(id, held.id)) {
+        const auto reverse = reg.edges.find({id, held.id});
+        violation.message = std::string("lock-order inversion: acquiring \"") +
+                            name + "\" while holding \"" + held.name +
+                            "\", but \"" + held.name +
+                            "\" has been acquired while \"" + name +
+                            "\" (transitively) was held";
+        for (const detail::HeldLock& h : stack) {
+          violation.held_stack.emplace_back(h.name);
+        }
+        violation.held_stack.emplace_back(name);
+        if (reverse != reg.edges.end()) {
+          violation.prior_stack = reverse->second.first_stack;
+        }
+        handler = reg.handler;
+        violated = true;
+        break;
+      }
+      detail::EdgeInfo& info = reg.edges[{held.id, id}];
+      if (info.count == 0) {
+        info.from_name = held.name;
+        info.to_name = name;
+        for (const detail::HeldLock& h : stack) {
+          info.first_stack.emplace_back(h.name);
+        }
+        info.first_stack.emplace_back(name);
+        reg.successors[held.id].insert(id);
+      }
+      ++info.count;
+    }
+    if (!violated) {
+      stack.push_back(detail::HeldLock{mutex, id, name});
+    }
+  }
+  if (violated) {
+    if (handler != nullptr) {
+      handler(violation);
+      // A test handler that returns resumes normally; keep the stacks
+      // consistent with the acquisition that is about to happen.
+      const std::lock_guard<std::mutex> lock(reg.mu);  // thread-safety: allow
+      stack.push_back(detail::HeldLock{mutex, reg.intern(mutex), name});
+    } else {
+      detail::default_violation_handler(violation);
+    }
+  }
+}
+
+/// Called by Mutex after releasing: drops the lock from the held stack
+/// (search from the top — locks may be released out of order).
+inline void on_release(const void* mutex) {
+  if (!enabled()) return;
+  if (detail::tls_stack_dead()) return;
+  auto& stack = detail::held_stack();
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    if (it->mutex == mutex) {
+      stack.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+/// Called by ~Mutex: forgets the address (heap reuse must not inherit the
+/// dead lock's edges) and every edge touching it.
+inline void on_destroy(const void* mutex) {
+  detail::Registry& reg = detail::registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);  // thread-safety: allow
+  const auto it = reg.ids.find(mutex);
+  if (it == reg.ids.end()) return;
+  const std::uint64_t id = it->second;
+  reg.ids.erase(it);
+  for (auto edge = reg.edges.begin(); edge != reg.edges.end();) {
+    if (edge->first.first == id || edge->first.second == id) {
+      edge = reg.edges.erase(edge);
+    } else {
+      ++edge;
+    }
+  }
+  reg.successors.erase(id);
+  for (auto& [from, to_set] : reg.successors) to_set.erase(id);
+}
+
+/// Snapshot of the observed acquired-after edges.
+inline std::vector<Edge> edges() {
+  detail::Registry& reg = detail::registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);  // thread-safety: allow
+  std::vector<Edge> out;
+  out.reserve(reg.edges.size());
+  for (const auto& [key, info] : reg.edges) {
+    out.push_back(Edge{info.from_name, info.to_name, info.count});
+  }
+  return out;
+}
+
+inline std::size_t edge_count() {
+  detail::Registry& reg = detail::registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);  // thread-safety: allow
+  return reg.edges.size();
+}
+
+/// Clears the edge graph and id assignments (tests). Held stacks of live
+/// threads are untouched — call only from quiescent points.
+inline void reset() {
+  detail::Registry& reg = detail::registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);  // thread-safety: allow
+  reg.ids.clear();
+  reg.edges.clear();
+  reg.successors.clear();
+  if (!detail::tls_stack_dead()) detail::held_stack().clear();
+}
+
+#else  // !UCUDNN_LOCK_ORDER_DETECTOR — everything compiles away.
+
+inline bool enabled() { return false; }
+inline void set_enabled(bool) {}
+inline void set_violation_handler(ViolationHandler) {}
+inline void on_acquire(const void*, const char*) {}
+inline void on_release(const void*) {}
+inline void on_destroy(const void*) {}
+inline std::vector<Edge> edges() { return {}; }
+inline std::size_t edge_count() { return 0; }
+inline void reset() {}
+
+#endif  // UCUDNN_LOCK_ORDER_DETECTOR
+
+}  // namespace lockorder
+
+// ---------------------------------------------------------------------------
+// Capability-annotated mutex vocabulary. These are the ONLY lock types the
+// library may use (tools/check_thread_safety.py enforces it).
+// ---------------------------------------------------------------------------
+
+/// std::mutex with a thread-safety capability, a diagnostic name, and (in
+/// detector builds) lock-order bookkeeping.
+class CAPABILITY("mutex") Mutex {
+ public:
+  /// `name` labels the lock in lock-order diagnostics and telemetry edges;
+  /// it must outlive the Mutex (string literals only, by convention).
+  explicit Mutex(const char* name = "mutex") noexcept : name_(name) {}
+  ~Mutex() {
+    if constexpr (lockorder::kCompiledIn) lockorder::on_destroy(this);
+  }
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() {
+    if constexpr (lockorder::kCompiledIn) lockorder::on_acquire(this, name_);
+    mu_.lock();
+  }
+
+  void unlock() RELEASE() {
+    mu_.unlock();
+    if constexpr (lockorder::kCompiledIn) lockorder::on_release(this);
+  }
+
+  bool try_lock() TRY_ACQUIRE(true) {
+    const bool acquired = mu_.try_lock();
+    if constexpr (lockorder::kCompiledIn) {
+      // A try_lock cannot deadlock, so no edges are recorded — but the held
+      // stack must know about it for edges of later blocking acquisitions.
+      if (acquired) lockorder::on_acquire(this, name_);
+    }
+    return acquired;
+  }
+
+  const char* name() const noexcept { return name_; }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;  // thread-safety: allow (the wrapped primitive)
+  const char* name_;
+};
+
+/// RAII scoped lock over a Mutex (the std::lock_guard of this codebase).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable working directly on Mutex. wait() REQUIRES the mutex,
+/// which keeps Clang's analysis sound without a lambda annotation: callers
+/// loop `while (!pred) cv.wait(mu);` under a MutexLock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) REQUIRES(mu) {
+    // Adopt the already-held native mutex for the wait, then release the
+    // unique_lock's ownership claim so the wrapper keeps it. The lock-order
+    // held stack deliberately keeps the mutex "held" across the wait: this
+    // thread is blocked and can contribute no new edges meanwhile.
+    std::unique_lock<std::mutex> native(  // thread-safety: allow
+        mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;  // thread-safety: allow (the wrapped primitive)
+};
+
+}  // namespace ucudnn

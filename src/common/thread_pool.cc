@@ -25,7 +25,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -34,7 +34,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     tasks_.push(std::move(task));
   }
   cv_.notify_one();
@@ -45,8 +45,11 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      // A manual predicate loop (not a wait(lock, pred) lambda) keeps the
+      // guarded accesses inside this function where the thread-safety
+      // analysis can see the held capability.
+      while (!stop_ && tasks_.empty()) cv_.wait(mutex_);
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -75,10 +78,10 @@ void ThreadPool::parallel_for(
   const std::int64_t chunk = ceil_div(count, static_cast<std::int64_t>(max_chunks));
   struct State {
     std::atomic<std::size_t> remaining;
-    std::mutex done_mutex;
-    std::condition_variable done_cv;
-    std::exception_ptr error;
-    std::mutex error_mutex;
+    Mutex done_mutex{"ThreadPool.parallel_for.done"};
+    CondVar done_cv;
+    Mutex error_mutex{"ThreadPool.parallel_for.error"};
+    std::exception_ptr error GUARDED_BY(error_mutex);
   } state;
 
   std::size_t num_chunks = 0;
@@ -92,7 +95,7 @@ void ThreadPool::parallel_for(
       try {
         body(begin, end, chunk_index);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(state.error_mutex);
+        MutexLock lock(state.error_mutex);
         if (!state.error) state.error = std::current_exception();
       }
       // The decrement and the notify must both happen under done_mutex: if
@@ -101,15 +104,18 @@ void ThreadPool::parallel_for(
       // State while this worker is still about to lock state.done_mutex.
       // Holding the lock means the waiter cannot re-check the predicate
       // until the worker — which touches nothing after the unlock — is done.
-      std::lock_guard<std::mutex> lock(state.done_mutex);
+      MutexLock lock(state.done_mutex);
       if (state.remaining.fetch_sub(1) == 1) {
         state.done_cv.notify_one();
       }
     });
   }
 
-  std::unique_lock<std::mutex> lock(state.done_mutex);
-  state.done_cv.wait(lock, [&state] { return state.remaining.load() == 0; });
+  {
+    MutexLock lock(state.done_mutex);
+    while (state.remaining.load() != 0) state.done_cv.wait(state.done_mutex);
+  }
+  MutexLock error_lock(state.error_mutex);
   if (state.error) std::rethrow_exception(state.error);
 }
 

@@ -3,13 +3,13 @@
 // (default: hardware concurrency).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace ucudnn {
 
@@ -42,11 +42,11 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  std::vector<std::thread> workers_;  // written only by the constructor
+  Mutex mutex_{"ThreadPool"};
+  std::queue<std::function<void()>> tasks_ GUARDED_BY(mutex_);
+  CondVar cv_;
+  bool stop_ GUARDED_BY(mutex_) = false;
 };
 
 /// Convenience wrapper over the global pool: body(index) for each i in

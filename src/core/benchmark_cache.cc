@@ -49,7 +49,7 @@ std::string BenchmarkCache::blacklist_key(const std::string& device,
 std::optional<std::vector<mcudnn::AlgoPerf>> BenchmarkCache::lookup(
     const std::string& device, ConvKernelType type,
     const kernels::ConvProblem& problem, std::int64_t micro_batch) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = entries_.find(make_key(device, type, problem, micro_batch));
   if (it == entries_.end()) {
     cache_misses_metric().add(1);
@@ -78,35 +78,35 @@ void BenchmarkCache::store(const std::string& device, ConvKernelType type,
                            const kernels::ConvProblem& problem,
                            std::int64_t micro_batch,
                            const std::vector<mcudnn::AlgoPerf>& perfs) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   entries_[make_key(device, type, problem, micro_batch)] = perfs;
 }
 
 std::size_t BenchmarkCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return entries_.size();
 }
 
 void BenchmarkCache::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   entries_.clear();
   blacklist_.clear();
 }
 
 void BenchmarkCache::blacklist(const std::string& device, ConvKernelType type,
                                int algo) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   blacklist_.insert(blacklist_key(device, type, algo));
 }
 
 bool BenchmarkCache::is_blacklisted(const std::string& device,
                                     ConvKernelType type, int algo) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return blacklist_.count(blacklist_key(device, type, algo)) != 0;
 }
 
 std::size_t BenchmarkCache::blacklisted_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return blacklist_.size();
 }
 
@@ -190,7 +190,7 @@ CacheLoadResult BenchmarkCache::load_file(const std::string& path) {
     return CacheLoadResult::kQuarantined;
   }
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& [key, perfs] : parsed) entries_[key] = std::move(perfs);
   return CacheLoadResult::kLoaded;
 }
@@ -206,7 +206,7 @@ void BenchmarkCache::save_file(const std::string& path) const {
           "cannot open benchmark cache file for writing: " + tmp_path);
     out << "# ucudnn benchmark cache v1\n";
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       for (const auto& [key, perfs] : entries_) {
         out << key << "\t" << encode_perfs(perfs) << "\n";
       }

@@ -5,12 +5,12 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "kernels/conv_problem.h"
 #include "mcudnn/mcudnn.h"
 
@@ -70,9 +70,10 @@ class BenchmarkCache {
   static std::string blacklist_key(const std::string& device,
                                    ConvKernelType type, int algo);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, std::vector<mcudnn::AlgoPerf>> entries_;
-  std::set<std::string> blacklist_;
+  mutable Mutex mutex_{"BenchmarkCache"};
+  std::map<std::string, std::vector<mcudnn::AlgoPerf>> entries_
+      GUARDED_BY(mutex_);
+  std::set<std::string> blacklist_ GUARDED_BY(mutex_);
 };
 
 }  // namespace ucudnn::core

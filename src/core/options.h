@@ -33,6 +33,10 @@
 //                                BENCH_<name>.json artifacts to this
 //                                directory (same as --json-dir); compare runs
 //                                with tools/bench_compare.py  (unset = off)
+//   UCUDNN_LOCK_ORDER            1 = runtime lock-order (potential-deadlock)
+//                                detection; only in builds compiling the
+//                                detector in (Debug/sanitizer presets; see
+//                                docs/analysis.md)              (unset = off)
 //
 // The telemetry variables are read by the src/telemetry leaf directly (not
 // through Options): telemetry must stay includable from every layer without

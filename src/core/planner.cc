@@ -83,29 +83,45 @@ DeviceBuffer& DeviceBuffer::operator=(DeviceBuffer&& other) noexcept {
 }
 
 std::shared_ptr<const ExecutionPlan> PlanCache::lookup(const std::string& key) {
-  const auto it = plans_.find(key);
-  if (it == plans_.end()) {
-    ++misses_;
+  std::shared_ptr<const ExecutionPlan> found;
+  {
+    MutexLock lock(mutex_);
+    const auto it = plans_.find(key);
+    if (it != plans_.end()) found = it->second;
+  }
+  if (found == nullptr) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
     plan_cache_misses_metric().add(1);
     return nullptr;
   }
-  ++hits_;
+  hits_.fetch_add(1, std::memory_order_relaxed);
   plan_cache_hits_metric().add(1);
-  return it->second;
+  return found;
 }
 
 void PlanCache::insert(const std::string& key,
                        std::shared_ptr<const ExecutionPlan> plan) {
+  MutexLock lock(mutex_);
   plans_[key] = std::move(plan);
 }
 
 void PlanCache::bump_epoch() {
-  // Entries under the old epoch are unreachable anyway (the epoch is part of
-  // every key); dropping them just releases the memory eagerly.
-  plans_.clear();
-  ++epoch_;
+  {
+    // Entries under the old epoch are unreachable anyway (the epoch is part
+    // of every key); dropping them just releases the memory eagerly. The
+    // clear happens before the epoch store so a concurrent lookup under the
+    // new epoch can never fetch a stale plan.
+    MutexLock lock(mutex_);
+    plans_.clear();
+  }
+  epoch_.fetch_add(1, std::memory_order_release);
   // Process-wide mirror: total epoch bumps across every handle.
   plan_cache_epoch_metric().add(1);
+}
+
+std::size_t PlanCache::size() const {
+  MutexLock lock(mutex_);
+  return plans_.size();
 }
 
 Planner::Planner(mcudnn::Handle& handle, Options& options,

@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "core/benchmarker.h"
 #include "core/options.h"
 #include "core/plan.h"
@@ -66,23 +67,36 @@ class DeviceBuffer {
 class PlanCache {
  public:
   /// Returns the cached plan or nullptr; counts a hit or a miss.
+  /// Thread-safe: worker handles of the serving layer (ROADMAP item 1)
+  /// share one PlanCache across threads.
   std::shared_ptr<const ExecutionPlan> lookup(const std::string& key);
   void insert(const std::string& key,
               std::shared_ptr<const ExecutionPlan> plan);
 
   /// Invalidates every cached plan and starts a new blacklist epoch.
   void bump_epoch();
-  std::uint64_t epoch() const noexcept { return epoch_; }
+  std::uint64_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
 
-  std::uint64_t hits() const noexcept { return hits_; }
-  std::uint64_t misses() const noexcept { return misses_; }
-  std::size_t size() const noexcept { return plans_.size(); }
+  std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::size_t size() const;
 
  private:
-  std::map<std::string, std::shared_ptr<const ExecutionPlan>> plans_;
-  std::uint64_t epoch_ = 0;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  mutable Mutex mutex_{"PlanCache"};
+  std::map<std::string, std::shared_ptr<const ExecutionPlan>> plans_
+      GUARDED_BY(mutex_);
+  // Atomics, not guarded counters: epoch() is read on every plan-key build
+  // and hits()/misses() feed execution reports — thin reads must not take
+  // the map's lock. bump_epoch orders the clear before the epoch publish.
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
 };
 
 /// A plan plus its workspace binding resolved to the live buffer. The

@@ -108,7 +108,7 @@ double Device::model_time_ms(ConvKernelType type, int algo,
 void* Device::allocate(std::size_t bytes, const std::string& tag) {
   // Before any state is touched, so an injected OOM leaves nothing to undo.
   FaultInjector::instance().fail_point(FaultSite::kAlloc);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   check(in_use_ + bytes <= spec_.memory_bytes, Status::kAllocFailed,
         spec_.name + ": out of device memory allocating " +
             std::to_string(bytes) + " bytes (" + std::to_string(in_use_) +
@@ -125,7 +125,7 @@ void* Device::allocate(std::size_t bytes, const std::string& tag) {
 
 void Device::deallocate(void* ptr) noexcept {
   if (ptr == nullptr) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = allocations_.find(ptr);
   if (it == allocations_.end()) return;
   in_use_ -= it->second.bytes;
@@ -135,34 +135,34 @@ void Device::deallocate(void* ptr) noexcept {
 }
 
 std::size_t Device::bytes_in_use() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return in_use_;
 }
 
 std::size_t Device::peak_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return peak_;
 }
 
 std::map<std::string, std::size_t> Device::usage_by_tag() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return tag_usage_;
 }
 
 std::map<std::string, std::size_t> Device::peak_by_tag() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return tag_peak_;
 }
 
 void Device::advance_clock_ms(double ms) { advance_stream_ms(0, ms); }
 
 void Device::advance_stream_ms(int stream, double ms) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   stream_clocks_[stream] += ms;
 }
 
 double Device::clock_ms() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   double wall = 0.0;
   for (const auto& [stream, clock] : stream_clocks_) {
     (void)stream;
@@ -172,13 +172,13 @@ double Device::clock_ms() const {
 }
 
 double Device::stream_clock_ms(int stream) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = stream_clocks_.find(stream);
   return it == stream_clocks_.end() ? 0.0 : it->second;
 }
 
 void Device::sync_streams() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   double wall = 0.0;
   for (const auto& [stream, clock] : stream_clocks_) {
     (void)stream;
@@ -191,7 +191,7 @@ void Device::sync_streams() {
 }
 
 void Device::reset_clock() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   stream_clocks_.clear();
 }
 

@@ -18,10 +18,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "kernels/conv_problem.h"
 
 namespace ucudnn::device {
@@ -95,13 +95,13 @@ class Device {
 
   DeviceSpec spec_;
   int ordinal_;
-  mutable std::mutex mutex_;
-  std::map<void*, Allocation> allocations_;
-  std::map<std::string, std::size_t> tag_usage_;
-  std::map<std::string, std::size_t> tag_peak_;
-  std::size_t in_use_ = 0;
-  std::size_t peak_ = 0;
-  std::map<int, double> stream_clocks_;
+  mutable Mutex mutex_{"Device"};
+  std::map<void*, Allocation> allocations_ GUARDED_BY(mutex_);
+  std::map<std::string, std::size_t> tag_usage_ GUARDED_BY(mutex_);
+  std::map<std::string, std::size_t> tag_peak_ GUARDED_BY(mutex_);
+  std::size_t in_use_ GUARDED_BY(mutex_) = 0;
+  std::size_t peak_ GUARDED_BY(mutex_) = 0;
+  std::map<int, double> stream_clocks_ GUARDED_BY(mutex_);
 };
 
 /// A compute node with one or more homogeneous devices.

@@ -123,6 +123,7 @@ MetricsRegistry::~MetricsRegistry() {
   // Exit-time plain-text export, gated by UCUDNN_TELEMETRY=<path>. stdio
   // only: iostreams may already be torn down during static destruction.
   if (exit_snapshot_path_.empty()) return;
+  sync_lock_order_metrics();
   if (std::FILE* f = std::fopen(exit_snapshot_path_.c_str(), "w")) {
     const std::string text = to_text();
     std::fwrite(text.data(), 1, text.size(), f);
@@ -132,7 +133,7 @@ MetricsRegistry::~MetricsRegistry() {
 
 Counter MetricsRegistry::counter(const std::string& name) {
   if (!kCompiledIn) return Counter();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto& cell = counters_[name];
   if (!cell) cell = std::make_unique<std::atomic<std::uint64_t>>(0);
   return Counter(cell.get());
@@ -140,7 +141,7 @@ Counter MetricsRegistry::counter(const std::string& name) {
 
 DoubleCounter MetricsRegistry::double_counter(const std::string& name) {
   if (!kCompiledIn) return DoubleCounter();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto& cell = double_counters_[name];
   if (!cell) cell = std::make_unique<std::atomic<double>>(0.0);
   return DoubleCounter(cell.get());
@@ -148,7 +149,7 @@ DoubleCounter MetricsRegistry::double_counter(const std::string& name) {
 
 Gauge MetricsRegistry::gauge(const std::string& name) {
   if (!kCompiledIn) return Gauge();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto& cell = gauges_[name];
   if (!cell) cell = std::make_unique<std::atomic<std::int64_t>>(0);
   return Gauge(cell.get());
@@ -156,7 +157,7 @@ Gauge MetricsRegistry::gauge(const std::string& name) {
 
 Histogram MetricsRegistry::histogram(const std::string& name) {
   if (!kCompiledIn) return Histogram();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto& cells = histograms_[name];
   if (!cells) cells = std::make_unique<Histogram::Cells>();
   return Histogram(cells.get());
@@ -164,7 +165,7 @@ Histogram MetricsRegistry::histogram(const std::string& name) {
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& [name, cell] : counters_) {
     snap.counters[name] = cell->load(std::memory_order_relaxed);
   }
@@ -243,8 +244,23 @@ std::string MetricsRegistry::to_json() const {
   return w.str();
 }
 
+void sync_lock_order_metrics() {
+  if (!kCompiledIn || !lockorder::kCompiledIn) return;
+  if (!lockorder::enabled()) return;
+  const std::vector<lockorder::Edge> edges = lockorder::edges();
+  MetricsRegistry& registry = MetricsRegistry::instance();
+  // Always published while the detector is on — a 0 means "detector ran,
+  // no nested acquisitions observed", distinct from "detector off".
+  registry.gauge("ucudnn.lockorder.edges")
+      .set(static_cast<std::int64_t>(edges.size()));
+  for (const lockorder::Edge& edge : edges) {
+    registry.gauge("ucudnn.lockorder.edge." + edge.from + "->" + edge.to)
+        .set(static_cast<std::int64_t>(edge.count));
+  }
+}
+
 void MetricsRegistry::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& [name, cell] : counters_) cell->store(0);
   for (auto& [name, cell] : double_counters_) cell->store(0.0);
   for (auto& [name, cell] : gauges_) cell->store(0);

@@ -5,8 +5,9 @@
 // the naming scheme and the catalog of metrics the library emits.
 //
 // Layering contract (tools/check_layering.py): telemetry is a leaf — every
-// library may include it, it includes nothing project-local. Environment
-// gating (UCUDNN_TELEMETRY) is therefore read with std::getenv directly.
+// library may include it, it includes nothing project-local except the
+// common/thread_annotations.h locking leaf. Environment gating
+// (UCUDNN_TELEMETRY) is therefore read with std::getenv directly.
 //
 // Defining UCUDNN_DISABLE_TELEMETRY compiles every handle operation to a
 // no-op and empties the registry.
@@ -16,8 +17,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
+
+#include "common/thread_annotations.h"
 
 namespace ucudnn::telemetry {
 
@@ -162,12 +164,16 @@ class MetricsRegistry {
   // was touched first — may already be destroyed during static teardown.
   std::string exit_snapshot_path_;
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_{"MetricsRegistry"};
   // Node-based maps: cell addresses are stable for the registry's lifetime.
-  std::map<std::string, std::unique_ptr<std::atomic<std::uint64_t>>> counters_;
-  std::map<std::string, std::unique_ptr<std::atomic<double>>> double_counters_;
-  std::map<std::string, std::unique_ptr<std::atomic<std::int64_t>>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram::Cells>> histograms_;
+  std::map<std::string, std::unique_ptr<std::atomic<std::uint64_t>>> counters_
+      GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<std::atomic<double>>> double_counters_
+      GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<std::atomic<std::int64_t>>> gauges_
+      GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram::Cells>> histograms_
+      GUARDED_BY(mutex_);
 };
 
 /// True when UCUDNN_TELEMETRY is set truthy (or to a snapshot path) or
@@ -177,5 +183,13 @@ bool telemetry_enabled() noexcept;
 /// The file path form of UCUDNN_TELEMETRY ("" when unset or boolean): the
 /// registry writes its plain-text snapshot there at process exit.
 const std::string& metrics_snapshot_path() noexcept;
+
+/// Mirrors the runtime lock-order detector's observed acquired-after edge
+/// graph into the registry: gauge `ucudnn.lockorder.edges` (distinct edges)
+/// and one `ucudnn.lockorder.edge.<held>-><acquired>` gauge per edge with
+/// its observation count. A no-op when the detector is compiled out or
+/// disabled (docs/analysis.md). Called automatically before the exit-time
+/// metrics snapshot; tests and tools may call it at any quiescent point.
+void sync_lock_order_metrics();
 
 }  // namespace ucudnn::telemetry

@@ -62,7 +62,7 @@ TraceRecorder::TraceRecorder() : epoch_ns_(steady_ns()) {
 
 TraceRecorder::~TraceRecorder() {
   if (trace_path_.empty()) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (events_.empty()) return;
   // Renders from events_ directly (rather than via write_chrome_trace) to
   // avoid re-locking during static destruction.
@@ -74,12 +74,12 @@ TraceRecorder::~TraceRecorder() {
 }
 
 void TraceRecorder::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   events_.clear();
 }
 
 std::vector<SpanEvent> TraceRecorder::events() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return events_;
 }
 
@@ -94,7 +94,7 @@ void TraceRecorder::write_chrome_trace(const std::string& path) const {
 }
 
 void TraceRecorder::record(SpanEvent event) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   events_.push_back(std::move(event));
 }
 

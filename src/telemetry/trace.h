@@ -14,11 +14,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "telemetry/metrics.h"
 
 namespace ucudnn::telemetry {
@@ -69,8 +69,8 @@ class TraceRecorder {
   std::atomic<bool> enabled_{false};
   std::string trace_path_;  // UCUDNN_TRACE_FILE; written at destruction
   std::int64_t epoch_ns_ = 0;
-  mutable std::mutex mutex_;
-  std::vector<SpanEvent> events_;
+  mutable Mutex mutex_{"TraceRecorder"};
+  std::vector<SpanEvent> events_ GUARDED_BY(mutex_);
 };
 
 /// RAII span. When the recorder is disabled the constructor is a single

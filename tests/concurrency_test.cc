@@ -1,0 +1,281 @@
+// Concurrency-correctness tests for the shared planner-side state (ROADMAP
+// item 1: a serving layer shares one BenchmarkCache and one PlanCache across
+// worker threads) and for the runtime lock-order detector of
+// common/thread_annotations.h.
+//
+// The stress tests are most valuable under the `tsan` preset, where TSan
+// checks every interleaving they generate; on the default preset they still
+// verify the locked invariants. The lock-order tests skip themselves when
+// the detector is compiled out (release builds without sanitizers).
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_annotations.h"
+#include "core/benchmark_cache.h"
+#include "core/planner.h"
+#include "kernels/conv_problem.h"
+#include "mcudnn/mcudnn.h"
+#include "telemetry/metrics.h"
+
+namespace ucudnn {
+namespace {
+
+using core::BenchmarkCache;
+using core::PlanCache;
+using kernels::ConvProblem;
+
+ConvProblem problem_for(int variant) {
+  return ConvProblem({8, 8 + variant, 12, 12}, {8, 8 + variant, 3, 3},
+                     {.pad_h = 1, .pad_w = 1});
+}
+
+std::vector<mcudnn::AlgoPerf> sample_perfs() {
+  return {
+      {0, Status::kSuccess, 1.0, 1024},
+      {1, Status::kSuccess, 2.0, 0},
+      {2, Status::kSuccess, 3.0, 4096},
+  };
+}
+
+TEST(BenchmarkCacheConcurrencyTest, ParallelLookupStoreBlacklist) {
+  BenchmarkCache cache;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 400;
+  constexpr int kVariants = 4;
+  std::atomic<int> mismatches{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &mismatches, t] {
+      const std::string device = "dev" + std::to_string(t % 2);
+      for (int i = 0; i < kIters; ++i) {
+        const ConvProblem problem = problem_for(i % kVariants);
+        cache.store(device, ConvKernelType::kForward, problem, 4,
+                    sample_perfs());
+        // is_blacklisted is sampled BEFORE the lookup: once an algorithm is
+        // observed blacklisted, every later lookup must filter it (the
+        // blacklist only grows, so this order makes the check race-free).
+        const bool blacklisted_before =
+            cache.is_blacklisted(device, ConvKernelType::kForward, 2);
+        const auto hit =
+            cache.lookup(device, ConvKernelType::kForward, problem, 4);
+        if (!hit.has_value() || hit->empty()) mismatches.fetch_add(1);
+        if (hit.has_value() && blacklisted_before) {
+          for (const mcudnn::AlgoPerf& perf : *hit) {
+            if (perf.algo == 2) mismatches.fetch_add(1);
+          }
+        }
+        if (i == kIters / 2 && t == 0) {
+          cache.blacklist(device, ConvKernelType::kForward, 2);
+        }
+        (void)cache.size();
+        (void)cache.blacklisted_count();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  // 2 devices x 1 kernel type x kVariants problems x 1 micro-batch.
+  EXPECT_EQ(cache.size(), 2u * kVariants);
+  EXPECT_EQ(cache.blacklisted_count(), 1u);
+  EXPECT_TRUE(cache.is_blacklisted("dev0", ConvKernelType::kForward, 2));
+  const auto filtered =
+      cache.lookup("dev0", ConvKernelType::kForward, problem_for(0), 4);
+  ASSERT_TRUE(filtered.has_value());
+  for (const mcudnn::AlgoPerf& perf : *filtered) EXPECT_NE(perf.algo, 2);
+}
+
+TEST(PlanCacheConcurrencyTest, ParallelLookupInsertEpochBump) {
+  PlanCache cache;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 500;
+  std::atomic<int> null_plans{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &null_plans, t] {
+      for (int i = 0; i < kIters; ++i) {
+        // Keys embed the epoch exactly as the Planner builds them, so a
+        // bump_epoch invalidates by changing every future key.
+        const std::string key = "plan:" + std::to_string(i % 8) + ":e" +
+                                std::to_string(cache.epoch());
+        std::shared_ptr<const core::ExecutionPlan> plan = cache.lookup(key);
+        if (plan == nullptr) {
+          plan = std::make_shared<const core::ExecutionPlan>();
+          cache.insert(key, plan);
+        }
+        // A fetched plan must stay usable even if another thread bumps the
+        // epoch (shared_ptr keeps mid-flight plans alive).
+        if (plan->batch() != 0) null_plans.fetch_add(1);
+        if (t == 0 && i % 100 == 99) cache.bump_epoch();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(null_plans.load(), 0);
+  // Exactly one lookup per iteration: every one is a hit or a miss.
+  EXPECT_EQ(cache.hits() + cache.misses(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(cache.epoch(), static_cast<std::uint64_t>(kIters / 100));
+  // 8 base keys x at most (bumps + 1) epoch generations ever inserted.
+  EXPECT_LE(cache.size(), 8u * (kIters / 100 + 1));
+}
+
+// ---------------------------------------------------------------------------
+// Runtime lock-order detector.
+// ---------------------------------------------------------------------------
+
+std::atomic<int> g_violations{0};
+std::string g_last_message;  // handler runs on the acquiring (test) thread
+
+void capture_violation(const lockorder::Violation& violation) {
+  g_violations.fetch_add(1);
+  g_last_message = violation.message;
+}
+
+class LockOrderDetectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!lockorder::kCompiledIn) {
+      GTEST_SKIP() << "lock-order detector compiled out "
+                      "(build with UCUDNN_LOCK_ORDER_DETECTOR)";
+    }
+    lockorder::reset();
+    lockorder::set_violation_handler(&capture_violation);
+    lockorder::set_enabled(true);
+    g_violations.store(0);
+    g_last_message.clear();
+  }
+
+  void TearDown() override {
+    lockorder::set_enabled(false);
+    lockorder::set_violation_handler(nullptr);
+    lockorder::reset();
+  }
+};
+
+TEST_F(LockOrderDetectorTest, DetectsSeededInversion) {
+  Mutex a{"test.A"};
+  Mutex b{"test.B"};
+  {
+    MutexLock lock_a(a);
+    MutexLock lock_b(b);  // records A -> B
+  }
+  EXPECT_EQ(g_violations.load(), 0);
+  {
+    MutexLock lock_b(b);
+    MutexLock lock_a(a);  // B -> A: inversion of the recorded order
+  }
+  EXPECT_EQ(g_violations.load(), 1);
+  EXPECT_NE(g_last_message.find("test.A"), std::string::npos) << g_last_message;
+  EXPECT_NE(g_last_message.find("test.B"), std::string::npos) << g_last_message;
+  EXPECT_NE(g_last_message.find("inversion"), std::string::npos)
+      << g_last_message;
+}
+
+TEST_F(LockOrderDetectorTest, DetectsTransitiveInversion) {
+  Mutex a{"test.A"};
+  Mutex b{"test.B"};
+  Mutex c{"test.C"};
+  {
+    MutexLock lock_a(a);
+    MutexLock lock_b(b);  // A -> B
+  }
+  {
+    MutexLock lock_b(b);
+    MutexLock lock_c(c);  // B -> C
+  }
+  EXPECT_EQ(g_violations.load(), 0);
+  {
+    MutexLock lock_c(c);
+    MutexLock lock_a(a);  // C -> A closes the A -> B -> C cycle
+  }
+  EXPECT_EQ(g_violations.load(), 1);
+}
+
+TEST_F(LockOrderDetectorTest, SilentOnConsistentOrder) {
+  Mutex outer{"test.Outer"};
+  Mutex inner{"test.Inner"};
+  for (int i = 0; i < 3; ++i) {
+    MutexLock lock_outer(outer);
+    MutexLock lock_inner(inner);
+  }
+  { MutexLock lock_inner(inner); }  // alone, not under outer: still consistent
+  EXPECT_EQ(g_violations.load(), 0);
+
+  bool saw_edge = false;
+  for (const lockorder::Edge& edge : lockorder::edges()) {
+    if (edge.from == "test.Outer" && edge.to == "test.Inner") {
+      saw_edge = true;
+      EXPECT_EQ(edge.count, 3u);
+    }
+  }
+  EXPECT_TRUE(saw_edge);
+}
+
+TEST_F(LockOrderDetectorTest, CrossThreadInversionDetected) {
+  Mutex a{"test.X"};
+  Mutex b{"test.Y"};
+  // Thread 1 establishes X -> Y and finishes before thread 2 starts, so the
+  // inversion is never an actual deadlock — exactly the latent bug class the
+  // detector exists to catch.
+  std::thread first([&] {
+    MutexLock lock_a(a);
+    MutexLock lock_b(b);
+  });
+  first.join();
+  std::thread second([&] {
+    MutexLock lock_b(b);
+    MutexLock lock_a(a);
+  });
+  second.join();
+  EXPECT_EQ(g_violations.load(), 1);
+}
+
+TEST_F(LockOrderDetectorTest, ExportsEdgesThroughTelemetry) {
+  Mutex outer{"test.ExportOuter"};
+  Mutex inner{"test.ExportInner"};
+  {
+    MutexLock lock_outer(outer);
+    MutexLock lock_inner(inner);
+  }
+  telemetry::sync_lock_order_metrics();
+  const telemetry::MetricsSnapshot snap =
+      telemetry::MetricsRegistry::instance().snapshot();
+  const auto total = snap.gauges.find("ucudnn.lockorder.edges");
+  ASSERT_NE(total, snap.gauges.end());
+  EXPECT_GE(total->second, 1);
+  const auto edge = snap.gauges.find(
+      "ucudnn.lockorder.edge.test.ExportOuter->test.ExportInner");
+  ASSERT_NE(edge, snap.gauges.end());
+  EXPECT_EQ(edge->second, 1);
+}
+
+TEST_F(LockOrderDetectorTest, DisabledDetectorRecordsNothing) {
+  lockorder::set_enabled(false);
+  Mutex a{"test.DisabledA"};
+  Mutex b{"test.DisabledB"};
+  {
+    MutexLock lock_a(a);
+    MutexLock lock_b(b);
+  }
+  {
+    MutexLock lock_b(b);
+    MutexLock lock_a(a);  // would be an inversion if enabled
+  }
+  EXPECT_EQ(g_violations.load(), 0);
+  EXPECT_EQ(lockorder::edge_count(), 0u);
+}
+
+}  // namespace
+}  // namespace ucudnn

@@ -19,8 +19,12 @@ here:
      convolution traffic goes through the core/ucudnn.h facade.
   5. src/telemetry/** is a leaf: every library may include it, but its own
      quoted includes must stay inside telemetry/ (system headers via <> are
-     fine). Instrumentation must never create a cycle back into the layers
-     it observes.
+     fine), with one exception — common/thread_annotations.h, the locking
+     leaf below. Instrumentation must never create a cycle back into the
+     layers it observes.
+  6. src/common/thread_annotations.h is the locking leaf: includable from
+     everywhere (including telemetry), it must itself include only system
+     headers — no quoted project-local includes at all.
 
 Usage:  check_layering.py [--self-test] [ROOT]
 
@@ -40,8 +44,14 @@ INCLUDE = re.compile(r'^\s*#\s*include\s*(["<])([^">]+)[">]', re.MULTILINE)
 
 # The telemetry leaf rule is an allowlist, not a forbidden-prefix list: any
 # quoted (project-local) include from src/telemetry must itself be a
-# telemetry/ header. Angle includes are system headers and always allowed.
+# telemetry/ header — or the locking leaf, which telemetry needs for its own
+# mutexes. Angle includes are system headers and always allowed.
 TELEMETRY_LEAF = re.compile(r"^src/telemetry/.+\.(h|cc)$")
+TELEMETRY_LEAF_EXTRA = ("common/thread_annotations.h",)
+
+# The locking leaf itself: includable from everywhere, so it may depend on
+# nothing project-local (it reads its env gate with std::getenv directly).
+LOCKING_LEAF = re.compile(r"^src/common/thread_annotations\.h$")
 
 # (file-selector, forbidden-include prefixes, rationale) — selectors are
 # matched against the path relative to ROOT, with / separators.
@@ -111,7 +121,8 @@ def check_text(rel: str, raw: str) -> list[str]:
     path with / separators)."""
     rules = [r for r in RULES if r[0].match(rel)]
     leaf = TELEMETRY_LEAF.match(rel) is not None
-    if not rules and not leaf:
+    locking_leaf = LOCKING_LEAF.match(rel) is not None
+    if not rules and not leaf and not locking_leaf:
         return []
     clean = strip_comments_and_strings(raw)
     raw_lines = raw.splitlines()
@@ -122,11 +133,21 @@ def check_text(rel: str, raw: str) -> list[str]:
         line = line_of(clean, match.start())
         if suppressed(raw_lines, line):
             continue
-        if leaf and delim == '"' and not header.startswith("telemetry/"):
+        if (
+            leaf
+            and delim == '"'
+            and not header.startswith("telemetry/")
+            and header not in TELEMETRY_LEAF_EXTRA
+        ):
             findings.append(
                 f"{rel}:{line}: layering: {rel} must not include "
-                f'"{header}" (telemetry is a leaf: only telemetry/ and '
-                "system headers)"
+                f'"{header}" (telemetry is a leaf: only telemetry/, the '
+                "locking leaf, and system headers)"
+            )
+        if locking_leaf and delim == '"':
+            findings.append(
+                f"{rel}:{line}: layering: {rel} must not include "
+                f'"{header}" (the locking leaf includes only system headers)'
             )
         for _, forbidden, why in rules:
             for prefix in forbidden:
@@ -140,7 +161,7 @@ def check_text(rel: str, raw: str) -> list[str]:
 
 def scan_tree(root: Path) -> list[str]:
     findings = []
-    for base in ("src/core", "src/frameworks", "src/telemetry"):
+    for base in ("src/common", "src/core", "src/frameworks", "src/telemetry"):
         directory = root / base
         if not directory.is_dir():
             continue
@@ -200,6 +221,25 @@ def self_test() -> int:
          '#include "telemetry/json_writer.h"\n', 0),
         ("src/telemetry/report.cc", '#include "core/plan.h"\n', 1),
         ("src/telemetry/json_writer.h", '#include "common/env.h"\n', 1),
+        # The locking leaf (common/thread_annotations.h) is the one
+        # non-telemetry header telemetry may include...
+        (
+            "src/telemetry/metrics.h",
+            '#include "common/thread_annotations.h"\n',
+            0,
+        ),
+        # ...but other common/ headers remain forbidden there, and the
+        # locking leaf itself may include only system headers.
+        ("src/telemetry/metrics.h", '#include "common/env.h"\n', 1),
+        ("src/common/thread_annotations.h", "#include <mutex>\n", 0),
+        ("src/common/thread_annotations.h", '#include "common/env.h"\n', 1),
+        (
+            "src/common/thread_annotations.h",
+            '#include "telemetry/metrics.h"\n',
+            1,
+        ),
+        # Other common/ files are out of scope for the locking-leaf rule.
+        ("src/common/thread_pool.h", '#include "common/env.h"\n', 0),
     ]
     failures = []
     for rel, text, expected in cases:

@@ -179,6 +179,7 @@ def self_test() -> int:
       try { g(); } catch (...) {}
       try { g(); } catch (const std::exception& e) { count++; }
       for (;;) { try { g(); } catch (const Error& e) { ++failures; continue; } }
+      try { g(); } catch (...) { MutexLock lock(mu); ++swallowed; }
     }
     """
     good = """
@@ -193,6 +194,12 @@ def self_test() -> int:
         if (e.status() != Status::kExecutionFailed) throw;
         ++retries;  // retry loop: selective rethrow is handling
       }
+      try { g(); } catch (...) {
+        // Recording the exception under a lock (the ThreadPool::parallel_for
+        // first-error pattern) is handling, not swallowing.
+        MutexLock lock(mu);
+        if (!error) error = std::current_exception();
+      }
       mcudnnConvolutionForward(h, a, x);  // status-discipline: allow
     }
     """
@@ -204,17 +211,17 @@ def self_test() -> int:
     good_findings = find_ignored_status(
         clean_good, good.splitlines(), Path("good.cc")
     ) + find_swallowed_exceptions(clean_good, good.splitlines(), Path("good.cc"))
-    ok = len(bad_findings) == 5 and not good_findings
+    ok = len(bad_findings) == 6 and not good_findings
     if not ok:
         print("self-test FAILED")
-        print(f"  expected 5 findings in bad sample, got {len(bad_findings)}:")
+        print(f"  expected 6 findings in bad sample, got {len(bad_findings)}:")
         for f in bad_findings:
             print(f"    {f}")
         print(f"  expected 0 findings in good sample, got {len(good_findings)}:")
         for f in good_findings:
             print(f"    {f}")
         return 1
-    print("self-test passed (5 positives caught, 0 false positives)")
+    print("self-test passed (6 positives caught, 0 false positives)")
     return 0
 
 

@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Raw-mutex lint: every lock in the tree must go through the annotated
+wrappers in src/common/thread_annotations.h.
+
+Clang Thread Safety Analysis (the `tsa` CMake preset) only sees state that
+is guarded by a capability-annotated mutex, and the runtime lock-order
+detector only sees acquisitions that pass through ucudnn::Mutex. A raw
+std::mutex is invisible to both tiers, so this lint rejects the raw standard
+synchronization vocabulary everywhere outside the wrapper header itself:
+
+    std::mutex, std::recursive_mutex, std::timed_mutex,
+    std::recursive_timed_mutex, std::shared_mutex, std::shared_timed_mutex,
+    std::condition_variable, std::condition_variable_any,
+    std::lock_guard, std::unique_lock, std::scoped_lock, std::shared_lock
+
+Use ucudnn::Mutex / MutexLock / CondVar instead (docs/analysis.md describes
+the conventions).
+
+Usage:  check_thread_safety.py [--self-test] [ROOT]
+
+Scans src/, tests/, examples/, bench/ under ROOT (default: repo root
+inferred from this script's location). src/common/thread_annotations.h is
+exempt — it is the one place allowed to touch the raw primitives. Exits
+non-zero when findings exist.
+
+Suppression: append  // thread-safety: allow  on the offending line or the
+line above it (for deliberate raw usage, e.g. interop with external code).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+SCAN_DIRS = ("src", "tests", "examples", "bench")
+EXTENSIONS = {".cc", ".h"}
+SUPPRESS = "thread-safety: allow"
+
+# The wrapper header is the single sanctioned user of the raw primitives.
+EXEMPT = {"src/common/thread_annotations.h"}
+
+RAW_PRIMITIVE = re.compile(
+    r"\bstd\s*::\s*("
+    r"mutex|recursive_mutex|timed_mutex|recursive_timed_mutex"
+    r"|shared_mutex|shared_timed_mutex"
+    r"|condition_variable_any|condition_variable"
+    r"|lock_guard|unique_lock|scoped_lock|shared_lock"
+    r")\b"
+)
+
+WRAPPER_FOR = {
+    "mutex": "ucudnn::Mutex",
+    "recursive_mutex": "ucudnn::Mutex (restructure to avoid recursion)",
+    "timed_mutex": "ucudnn::Mutex",
+    "recursive_timed_mutex": "ucudnn::Mutex",
+    "shared_mutex": "ucudnn::Mutex",
+    "shared_timed_mutex": "ucudnn::Mutex",
+    "condition_variable": "ucudnn::CondVar",
+    "condition_variable_any": "ucudnn::CondVar",
+    "lock_guard": "ucudnn::MutexLock",
+    "unique_lock": "ucudnn::MutexLock",
+    "scoped_lock": "ucudnn::MutexLock",
+    "shared_lock": "ucudnn::MutexLock",
+}
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments and string/char literal contents, preserving layout
+    (so line arithmetic still works on the result)."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            chunk = text[i : j + 2]
+            out.append("".join(ch if ch == "\n" else " " for ch in chunk))
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    out.append("  "[: min(2, n - i)])
+                    i += 2
+                else:
+                    out.append("\n" if text[i] == "\n" else " ")
+                    i += 1
+            if i < n:
+                out.append(quote)
+                i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, pos: int) -> int:
+    return text.count("\n", 0, pos) + 1
+
+
+def suppressed(raw_lines: list[str], line: int) -> bool:
+    for candidate in (line - 1, line - 2):  # the line itself, the line above
+        if 0 <= candidate < len(raw_lines) and SUPPRESS in raw_lines[candidate]:
+            return True
+    return False
+
+
+def check_text(rel: str, raw: str) -> list[str]:
+    """Returns findings for one file's contents (rel is the ROOT-relative
+    path with / separators)."""
+    if rel in EXEMPT:
+        return []
+    clean = strip_comments_and_strings(raw)
+    raw_lines = raw.splitlines()
+    findings = []
+    for match in RAW_PRIMITIVE.finditer(clean):
+        line = line_of(clean, match.start())
+        if suppressed(raw_lines, line):
+            continue
+        primitive = match.group(1)
+        findings.append(
+            f"{rel}:{line}: raw-mutex: std::{primitive} bypasses the "
+            f"annotated locking layer; use {WRAPPER_FOR[primitive]} from "
+            f"common/thread_annotations.h"
+        )
+    return findings
+
+
+def scan_tree(root: Path) -> list[str]:
+    findings = []
+    for sub in SCAN_DIRS:
+        base = root / sub
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in EXTENSIONS and path.is_file():
+                rel = path.relative_to(root).as_posix()
+                raw = path.read_text(encoding="utf-8", errors="replace")
+                findings.extend(check_text(rel, raw))
+    return findings
+
+
+def self_test() -> int:
+    cases = [
+        # (rel path, contents, expected finding count)
+        ("src/core/foo.cc", "std::mutex mu;\n", 1),
+        ("src/core/foo.cc", "std::lock_guard<std::mutex> lock(mu);\n", 2),
+        ("src/core/foo.cc", "std::unique_lock<std::mutex> l(mu);\n", 2),
+        ("src/core/foo.cc", "std::scoped_lock l(a, b);\n", 1),
+        ("src/core/foo.cc", "std::shared_lock l(mu);\n", 1),
+        ("src/core/foo.h", "std::condition_variable cv;\n", 1),
+        ("src/core/foo.h", "std::condition_variable_any cv;\n", 1),
+        ("src/core/foo.h", "std::recursive_mutex mu;\n", 1),
+        ("src/core/foo.h", "std::shared_mutex mu;\n", 1),
+        ("tests/foo_test.cc", "std::timed_mutex mu;\n", 1),
+        # Whitespace around :: still matches.
+        ("src/core/foo.cc", "std :: mutex mu;\n", 1),
+        # The wrappers themselves are fine.
+        ("src/core/foo.cc", "Mutex mu;\nMutexLock lock(mu);\nCondVar cv;\n", 0),
+        # Identifiers merely containing the token are not findings.
+        ("src/core/foo.cc", "int mutex_count = 0; my::mutex m;\n", 0),
+        ("src/core/foo.cc", "std::atomic<int> lock_guard_count{0};\n", 0),
+        # Comments and strings do not count.
+        ("src/core/foo.cc", "// std::mutex in prose\n", 0),
+        ("src/core/foo.cc", 'log("std::mutex is banned");\n', 0),
+        # Suppression on the line or the line above.
+        ("src/core/foo.cc", "std::mutex mu;  // thread-safety: allow\n", 0),
+        (
+            "src/core/foo.cc",
+            "// thread-safety: allow\nstd::mutex mu;\n",
+            0,
+        ),
+        # The wrapper header is the sanctioned exception.
+        ("src/common/thread_annotations.h", "std::mutex mu_;\n", 0),
+        ("src/common/thread_pool.h", "std::mutex mu_;\n", 1),
+    ]
+    failures = []
+    for rel, text, expected in cases:
+        got = check_text(rel, text)
+        if len(got) != expected:
+            failures.append((rel, text, expected, got))
+    if failures:
+        print("self-test FAILED")
+        for rel, text, expected, got in failures:
+            print(f"  {rel!r} x {text!r}: expected {expected}, got {len(got)}")
+            for f in got:
+                print(f"    {f}")
+        return 1
+    print(f"self-test passed ({len(cases)} cases)")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    args = [a for a in argv[1:] if a != "--self-test"]
+    if "--self-test" in argv[1:]:
+        return self_test()
+    root = Path(args[0]) if args else Path(__file__).resolve().parent.parent
+    findings = scan_tree(root)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"\n{len(findings)} raw-mutex violation(s)")
+        return 1
+    print("thread-safety vocabulary clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,299 @@
+#!/usr/bin/env python3
+"""clang-tidy runner with a ratcheting baseline.
+
+Drives clang-tidy (config: the repo's .clang-tidy) over every repo source
+file listed in a CMake compile_commands.json and compares the findings
+against tools/clang_tidy_baseline.txt:
+
+  * a finding not in the baseline is NEW  -> printed, exit 1
+  * a baseline entry with no finding is FIXED -> printed as informational
+    (run with --update-baseline to ratchet the baseline down)
+
+Findings are normalized to "file: [check] message" — no line/column — so
+unrelated edits that shift code do not churn the baseline; only genuinely
+new (file, check, message) triples fail the run.
+
+Usage:
+  run_clang_tidy.py [--build-dir DIR] [--update-baseline] [--self-test]
+                    [--jobs N] [ROOT]
+
+ROOT defaults to the repo root inferred from this script's location;
+--build-dir defaults to ROOT/build. When clang-tidy is not installed or the
+compile database is missing, exits 77 (the ctest SKIP_RETURN_CODE — this
+container ships only gcc, so the wired check_clang_tidy test reports SKIP
+rather than silently passing).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import shutil
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+EXIT_SKIP = 77
+
+# Sources the lint owns: repo code, not the vendored gtest / generated files.
+SOURCE_PREFIXES = ("src/", "tests/", "examples/", "bench/")
+EXCLUDE_PARTS = ("third_party", "_deps", "googletest")
+
+# clang-tidy diagnostic line:  /abs/path/file.cc:12:5: warning: msg [check]
+DIAGNOSTIC = re.compile(
+    r"^(?P<file>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+):\s*"
+    r"(?P<severity>warning|error):\s*(?P<message>.*?)"
+    r"\s*\[(?P<check>[\w.,-]+)\]$"
+)
+
+
+def find_clang_tidy() -> str | None:
+    for name in ("clang-tidy", "clang-tidy-19", "clang-tidy-18",
+                 "clang-tidy-17", "clang-tidy-16", "clang-tidy-15"):
+        if shutil.which(name):
+            return name
+    return None
+
+
+def repo_sources(compile_commands: Path, root: Path) -> list[Path]:
+    """Repo-owned translation units from the compile database, deduplicated
+    and sorted."""
+    entries = json.loads(compile_commands.read_text(encoding="utf-8"))
+    sources = set()
+    for entry in entries:
+        path = Path(entry["file"])
+        if not path.is_absolute():
+            path = (Path(entry["directory"]) / path).resolve()
+        try:
+            rel = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            continue  # outside the repo (system or generated)
+        if any(part in rel.split("/") for part in EXCLUDE_PARTS):
+            continue
+        if rel.startswith(SOURCE_PREFIXES):
+            sources.add(path.resolve())
+    return sorted(sources)
+
+
+def parse_diagnostics(output: str) -> list[dict[str, str]]:
+    """Parses clang-tidy stdout into diagnostic dicts (file/line/col/
+    severity/message/check). Notes and snippet lines are ignored."""
+    diagnostics = []
+    for line in output.splitlines():
+        match = DIAGNOSTIC.match(line.strip())
+        if match:
+            diagnostics.append(match.groupdict())
+    return diagnostics
+
+
+def normalize(diag: dict[str, str], root: Path) -> str:
+    """Stable baseline key: root-relative path, check, message — no
+    line/column, so surrounding edits do not churn the baseline."""
+    path = Path(diag["file"])
+    try:
+        rel = path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        rel = path.as_posix()
+    return f"{rel}: [{diag['check']}] {diag['message']}"
+
+
+def diff_against_baseline(
+    findings: set[str], baseline: set[str]
+) -> tuple[list[str], list[str]]:
+    """Returns (new, fixed): findings not in the baseline, and baseline
+    entries that no longer occur."""
+    return sorted(findings - baseline), sorted(baseline - findings)
+
+
+def read_baseline(path: Path) -> set[str]:
+    if not path.is_file():
+        return set()
+    lines = path.read_text(encoding="utf-8").splitlines()
+    return {ln.strip() for ln in lines if ln.strip() and not ln.startswith("#")}
+
+
+def write_baseline(path: Path, findings: set[str]) -> None:
+    header = (
+        "# clang-tidy baseline: known findings, one normalized entry per\n"
+        "# line ('file: [check] message'). Regenerate with\n"
+        "#   tools/run_clang_tidy.py --update-baseline\n"
+        "# New findings (absent here) fail the lint; fix them instead of\n"
+        "# adding entries unless the finding is a confirmed false positive.\n"
+    )
+    body = "".join(f"{entry}\n" for entry in sorted(findings))
+    path.write_text(header + body, encoding="utf-8")
+
+
+def run_clang_tidy(
+    binary: str, sources: list[Path], build_dir: Path, jobs: int
+) -> str:
+    def one(source: Path) -> str:
+        proc = subprocess.run(
+            [binary, "-p", str(build_dir), "--quiet", str(source)],
+            capture_output=True,
+            text=True,
+        )
+        return proc.stdout
+
+    with ThreadPoolExecutor(max_workers=max(1, jobs)) as pool:
+        return "\n".join(pool.map(one, sources))
+
+
+def self_test() -> int:
+    root = Path("/repo")
+    sample = """\
+/repo/src/core/planner.cc:42:10: warning: use emplace_back [modernize-use-emplace]
+    plans.push_back(std::make_shared<ExecutionPlan>());
+         ^
+/repo/src/core/planner.cc:48:3: note: expanded from macro
+/repo/src/common/env.cc:7:1: error: redefinition of 'env_bool' [clang-diagnostic-error]
+random console noise that is not a diagnostic
+/other/tree/file.cc:1:1: warning: outside the repo [misc-unused]
+/repo/tests/plan_test.cc:12:5: warning: narrowing conversion [bugprone-narrowing-conversions,cppcoreguidelines-narrowing-conversions]
+"""
+    diags = parse_diagnostics(sample)
+    checks = []
+
+    def expect(name: str, cond: bool) -> None:
+        checks.append((name, cond))
+
+    expect("parses 4 diagnostics, skips notes/noise", len(diags) == 4)
+    expect(
+        "captures fields",
+        diags[0]["file"] == "/repo/src/core/planner.cc"
+        and diags[0]["line"] == "42"
+        and diags[0]["severity"] == "warning"
+        and diags[0]["check"] == "modernize-use-emplace"
+        and diags[0]["message"] == "use emplace_back",
+    )
+    expect(
+        "multi-check names survive",
+        diags[3]["check"]
+        == "bugprone-narrowing-conversions,cppcoreguidelines-narrowing-conversions",
+    )
+
+    norm = [normalize(d, root) for d in diags]
+    expect(
+        "normalizes to relative path, no line/col",
+        norm[0] == "src/core/planner.cc: [modernize-use-emplace] "
+        "use emplace_back",
+    )
+    expect(
+        "paths outside the root stay absolute",
+        norm[2] == "/other/tree/file.cc: [misc-unused] outside the repo",
+    )
+
+    # Identical findings on different lines collapse to one baseline entry.
+    moved = dict(diags[0], line="99", col="1")
+    expect("line moves do not churn", normalize(moved, root) == norm[0])
+
+    baseline = {norm[0], "src/core/gone.cc: [misc-unused] stale entry"}
+    new, fixed = diff_against_baseline(set(norm), baseline)
+    expect(
+        "diff: new findings detected",
+        len(new) == 3 and norm[1] in new and norm[2] in new and norm[3] in new,
+    )
+    expect(
+        "diff: fixed entries detected",
+        fixed == ["src/core/gone.cc: [misc-unused] stale entry"],
+    )
+
+    empty_new, empty_fixed = diff_against_baseline(set(norm), set(norm))
+    expect("diff: clean when identical", not empty_new and not empty_fixed)
+
+    expect(
+        "baseline round-trip ignores comments/blanks",
+        read_baseline_from_text("# comment\n\nsrc/a.cc: [c] m\n")
+        == {"src/a.cc: [c] m"},
+    )
+
+    failed = [name for name, ok in checks if not ok]
+    if failed:
+        print("self-test FAILED")
+        for name in failed:
+            print(f"  {name}")
+        return 1
+    print(f"self-test passed ({len(checks)} cases)")
+    return 0
+
+
+def read_baseline_from_text(text: str) -> set[str]:
+    return {ln.strip() for ln in text.splitlines()
+            if ln.strip() and not ln.startswith("#")}
+
+
+def main(argv: list[str]) -> int:
+    args = argv[1:]
+    if "--self-test" in args:
+        return self_test()
+
+    update = "--update-baseline" in args
+    args = [a for a in args if a != "--update-baseline"]
+    build_dir: Path | None = None
+    jobs = 4
+    positional = []
+    i = 0
+    while i < len(args):
+        if args[i] == "--build-dir" and i + 1 < len(args):
+            build_dir = Path(args[i + 1])
+            i += 2
+        elif args[i] == "--jobs" and i + 1 < len(args):
+            jobs = int(args[i + 1])
+            i += 2
+        else:
+            positional.append(args[i])
+            i += 1
+
+    root = (
+        Path(positional[0])
+        if positional
+        else Path(__file__).resolve().parent.parent
+    )
+    if build_dir is None:
+        build_dir = root / "build"
+    baseline_path = root / "tools" / "clang_tidy_baseline.txt"
+
+    binary = find_clang_tidy()
+    if binary is None:
+        print("run_clang_tidy: clang-tidy not installed; skipping (exit 77)")
+        return EXIT_SKIP
+    compile_commands = build_dir / "compile_commands.json"
+    if not compile_commands.is_file():
+        print(
+            f"run_clang_tidy: {compile_commands} not found (configure with "
+            "CMAKE_EXPORT_COMPILE_COMMANDS=ON); skipping (exit 77)"
+        )
+        return EXIT_SKIP
+
+    sources = repo_sources(compile_commands, root)
+    if not sources:
+        print("run_clang_tidy: no repo sources in the compile database")
+        return 1
+    print(f"run_clang_tidy: {binary} over {len(sources)} translation units")
+    output = run_clang_tidy(binary, sources, build_dir, jobs)
+    findings = {normalize(d, root) for d in parse_diagnostics(output)}
+
+    if update:
+        write_baseline(baseline_path, findings)
+        print(f"baseline updated: {len(findings)} finding(s)")
+        return 0
+
+    baseline = read_baseline(baseline_path)
+    new, fixed = diff_against_baseline(findings, baseline)
+    for entry in fixed:
+        print(f"FIXED (remove from baseline): {entry}")
+    for entry in new:
+        print(f"NEW: {entry}")
+    if new:
+        print(
+            f"\n{len(new)} new clang-tidy finding(s); fix them or, for "
+            "confirmed false positives, rerun with --update-baseline"
+        )
+        return 1
+    print(f"clang-tidy clean ({len(baseline)} baselined finding(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
