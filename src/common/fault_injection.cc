@@ -2,11 +2,11 @@
 
 #include <cctype>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "common/env.h"
 #include "common/logging.h"
-#include "common/status.h"
 
 namespace ucudnn {
 namespace {
@@ -48,9 +48,23 @@ double parse_probability(const std::string& site, const std::string& value) {
   return p;
 }
 
+/// A dotted name like "serve.exec": registrable by a subsystem at runtime,
+/// so a clause naming one may precede its registration.
+bool is_dynamic_site_name(const std::string& name) {
+  return name.find('.') != std::string::npos;
+}
+
 }  // namespace
 
 FaultInjector::FaultInjector() {
+  {
+    MutexLock lock(mutex_);
+    // Built-ins first, in enum order, so FaultSite casts straight to the id.
+    register_site_locked("alloc", Status::kAllocFailed);
+    register_site_locked("kernel", Status::kExecutionFailed);
+    register_site_locked("cache-load", Status::kInternalError);
+    register_site_locked("cache-save", Status::kInternalError);
+  }
   const std::optional<std::string> env = env_raw("UCUDNN_FAULTS");
   if (!env || trim(*env).empty()) return;
   try {
@@ -67,140 +81,212 @@ FaultInjector& FaultInjector::instance() {
   return injector;
 }
 
-void FaultInjector::configure(const std::string& spec) {
-  std::array<FaultSpec, kFaultSiteCount> specs{};
-  for (const std::string& clause : split(spec, ';')) {
-    if (clause.empty()) continue;
-    const std::size_t colon = clause.find(':');
-    const std::string site = trim(clause.substr(0, colon));
-    std::vector<FaultSite> targets;
-    const bool is_cache_group = site == "cache";
-    if (site == "alloc") {
-      targets.push_back(FaultSite::kAlloc);
-    } else if (site == "kernel") {
-      targets.push_back(FaultSite::kKernel);
-    } else if (site == "cache-load") {
-      targets.push_back(FaultSite::kCacheLoad);
-    } else if (site == "cache-save") {
-      targets.push_back(FaultSite::kCacheSave);
-    } else {
-      check(is_cache_group, Status::kInvalidValue,
-            "UCUDNN_FAULTS: unknown site '" + site + "' in clause '" + clause +
-                "' (expected alloc, kernel, cache, cache-load, or cache-save)");
-    }
+FaultSiteId FaultInjector::register_site_locked(const std::string& name,
+                                                Status status) {
+  const auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  const FaultSiteId id = sites_.size();
+  Site site;
+  site.name = name;
+  site.status = status;
+  const auto parked = parked_.find(name);
+  if (parked != parked_.end()) {
+    site.spec = parked->second;
+    site.rng.seed(site.spec.seed);
+    parked_.erase(parked);
+  }
+  sites_.push_back(std::move(site));
+  ids_.emplace(name, id);
+  return id;
+}
 
-    FaultSpec parsed;
-    parsed.enabled = true;
-    if (colon != std::string::npos) {
-      for (const std::string& param : split(clause.substr(colon + 1), ',')) {
-        if (param.empty()) continue;
-        const std::size_t eq = param.find('=');
-        if (eq == std::string::npos) {
-          // Bare flags select the cache sub-sites.
-          check(is_cache_group &&
-                    (param == "corrupt-load" || param == "fail-save"),
-                Status::kInvalidValue,
-                "UCUDNN_FAULTS: unknown flag '" + param + "' in clause '" +
-                    clause + "'");
-          targets.push_back(param == "corrupt-load" ? FaultSite::kCacheLoad
-                                                    : FaultSite::kCacheSave);
-          continue;
+FaultSiteId FaultInjector::register_site(const std::string& name,
+                                         Status status) {
+  check(is_dynamic_site_name(name), Status::kInvalidValue,
+        "fault site '" + name +
+            "' must be namespaced (contain a '.') to be registrable");
+  bool armed_now = false;
+  FaultSiteId id = 0;
+  {
+    MutexLock lock(mutex_);
+    id = register_site_locked(name, status);
+    refresh_armed_locked();
+    armed_now = sites_[id].spec.enabled;
+  }
+  if (armed_now) {
+    UCUDNN_LOG_INFO << "fault site " << name << " armed at registration";
+  }
+  return id;
+}
+
+std::optional<FaultSiteId> FaultInjector::find_site(
+    const std::string& name) const {
+  MutexLock lock(mutex_);
+  const auto it = ids_.find(name);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+void FaultInjector::refresh_armed_locked() {
+  bool any_enabled = !parked_.empty();
+  for (const Site& site : sites_) {
+    any_enabled = any_enabled || site.spec.enabled;
+  }
+  armed_.store(any_enabled, std::memory_order_relaxed);
+}
+
+void FaultInjector::configure(const std::string& spec) {
+  // Parse into name -> spec first; nothing is applied until the whole spec
+  // validates, so a failed configure never leaves the injector half-armed.
+  std::map<std::string, FaultSpec> parsed_by_name;
+  std::map<std::string, FaultSpec> parked;
+  {
+    MutexLock lock(mutex_);
+    for (const std::string& clause : split(spec, ';')) {
+      if (clause.empty()) continue;
+      const std::size_t colon = clause.find(':');
+      const std::string site = trim(clause.substr(0, colon));
+      std::vector<std::string> targets;
+      const bool is_cache_group = site == "cache";
+      const bool known = ids_.count(site) != 0;
+      if (known) {
+        targets.push_back(site);
+      } else {
+        check(is_cache_group || is_dynamic_site_name(site),
+              Status::kInvalidValue,
+              "UCUDNN_FAULTS: unknown site '" + site + "' in clause '" +
+                  clause +
+                  "' (expected alloc, kernel, cache, cache-load, cache-save, "
+                  "or a registered dotted site like serve.exec)");
+        if (!is_cache_group) targets.push_back(site);  // parked until
+                                                       // registration
+      }
+
+      FaultSpec parsed;
+      parsed.enabled = true;
+      if (colon != std::string::npos) {
+        for (const std::string& param : split(clause.substr(colon + 1), ',')) {
+          if (param.empty()) continue;
+          const std::size_t eq = param.find('=');
+          if (eq == std::string::npos) {
+            // Bare flags select the cache sub-sites.
+            check(is_cache_group &&
+                      (param == "corrupt-load" || param == "fail-save"),
+                  Status::kInvalidValue,
+                  "UCUDNN_FAULTS: unknown flag '" + param + "' in clause '" +
+                      clause + "'");
+            targets.push_back(param == "corrupt-load" ? "cache-load"
+                                                      : "cache-save");
+            continue;
+          }
+          const std::string key = trim(param.substr(0, eq));
+          const std::string value = trim(param.substr(eq + 1));
+          if (key == "every") {
+            parsed.every = parse_u64(site, key, value);
+            check(parsed.every >= 1, Status::kInvalidValue,
+                  "UCUDNN_FAULTS: " + site + ":every must be >= 1");
+          } else if (key == "p") {
+            parsed.probability = parse_probability(site, value);
+          } else if (key == "seed") {
+            parsed.seed = parse_u64(site, key, value);
+          } else if (key == "after") {
+            parsed.after = parse_u64(site, key, value);
+          } else if (key == "count") {
+            parsed.count = parse_u64(site, key, value);
+          } else {
+            throw Error(Status::kInvalidValue,
+                        "UCUDNN_FAULTS: unknown parameter '" + key +
+                            "' in clause '" + clause + "'");
+          }
         }
-        const std::string key = trim(param.substr(0, eq));
-        const std::string value = trim(param.substr(eq + 1));
-        if (key == "every") {
-          parsed.every = parse_u64(site, key, value);
-          check(parsed.every >= 1, Status::kInvalidValue,
-                "UCUDNN_FAULTS: " + site + ":every must be >= 1");
-        } else if (key == "p") {
-          parsed.probability = parse_probability(site, value);
-        } else if (key == "seed") {
-          parsed.seed = parse_u64(site, key, value);
-        } else if (key == "after") {
-          parsed.after = parse_u64(site, key, value);
-        } else if (key == "count") {
-          parsed.count = parse_u64(site, key, value);
+      }
+      check(!targets.empty(), Status::kInvalidValue,
+            "UCUDNN_FAULTS: site 'cache' needs a corrupt-load or fail-save "
+            "flag in clause '" +
+                clause + "'");
+      if (parsed.every == 0 && parsed.probability == 0.0) parsed.every = 1;
+      for (const std::string& target : targets) {
+        if (ids_.count(target) != 0) {
+          parsed_by_name[target] = parsed;
         } else {
-          throw Error(Status::kInvalidValue,
-                      "UCUDNN_FAULTS: unknown parameter '" + key +
-                          "' in clause '" + clause + "'");
+          parked[target] = parsed;
         }
       }
     }
-    check(!targets.empty(), Status::kInvalidValue,
-          "UCUDNN_FAULTS: site 'cache' needs a corrupt-load or fail-save "
-          "flag in clause '" +
-              clause + "'");
-    if (parsed.every == 0 && parsed.probability == 0.0) parsed.every = 1;
-    for (const FaultSite target : targets) {
-      specs[static_cast<std::size_t>(target)] = parsed;
-    }
-  }
 
-  bool any_enabled = false;
-  {
-    MutexLock lock(mutex_);
-    specs_ = specs;
-    for (std::size_t i = 0; i < kFaultSiteCount; ++i) {
-      stats_[i] = FaultSiteStats{};
-      rngs_[i].seed(specs_[i].seed);
-      any_enabled = any_enabled || specs_[i].enabled;
+    // Validation done; apply. Sites without a clause are disarmed, all
+    // counters reset, and the parked set is replaced wholesale.
+    for (Site& site : sites_) {
+      const auto it = parsed_by_name.find(site.name);
+      site.spec = it == parsed_by_name.end() ? FaultSpec{} : it->second;
+      site.stats = FaultSiteStats{};
+      site.rng.seed(site.spec.seed);
     }
-    armed_.store(any_enabled, std::memory_order_relaxed);
+    parked_ = std::move(parked);
+    refresh_armed_locked();
   }
-  if (any_enabled) {
+  if (armed()) {
     UCUDNN_LOG_INFO << "fault injection armed: " << trim(spec);
   }
 }
 
-bool FaultInjector::should_fail(FaultSite site) {
+bool FaultInjector::should_fail(FaultSiteId id) {
   if (!armed()) return false;
-  const auto i = static_cast<std::size_t>(site);
   MutexLock lock(mutex_);
-  const FaultSpec& spec = specs_[i];
-  if (!spec.enabled) return false;
-  FaultSiteStats& stats = stats_[i];
+  check(id < sites_.size(), Status::kInvalidValue,
+        "fault site id " + std::to_string(id) + " out of range");
+  Site& site = sites_[id];
+  if (!site.spec.enabled) return false;
+  const FaultSpec& spec = site.spec;
+  FaultSiteStats& stats = site.stats;
   ++stats.checks;
   if (stats.triggered >= spec.count) return false;
   if (stats.checks <= spec.after) return false;
   bool fire = spec.every > 0 && (stats.checks - spec.after) % spec.every == 0;
   if (!fire && spec.probability > 0.0) {
-    fire = std::uniform_real_distribution<double>(0.0, 1.0)(rngs_[i]) <
+    fire = std::uniform_real_distribution<double>(0.0, 1.0)(site.rng) <
            spec.probability;
   }
   if (fire) ++stats.triggered;
   return fire;
 }
 
-void FaultInjector::fail_point(FaultSite site) {
-  if (!armed() || !should_fail(site)) return;
-  switch (site) {
-    case FaultSite::kAlloc:
-      throw Error(Status::kAllocFailed, "injected fault at site alloc");
-    case FaultSite::kKernel:
-      throw Error(Status::kExecutionFailed, "injected fault at site kernel");
-    case FaultSite::kCacheLoad:
-      throw Error(Status::kInternalError, "injected fault at site cache-load");
-    case FaultSite::kCacheSave:
-      throw Error(Status::kInternalError, "injected fault at site cache-save");
+void FaultInjector::fail_point(FaultSiteId id) {
+  if (!armed() || !should_fail(id)) return;
+  Status status = Status::kInternalError;
+  std::string name;
+  {
+    MutexLock lock(mutex_);
+    status = sites_[id].status;
+    name = sites_[id].name;
   }
+  throw Error(status, "injected fault at site " + name);
 }
 
-FaultSpec FaultInjector::spec(FaultSite site) const {
+FaultSpec FaultInjector::spec(FaultSiteId id) const {
   MutexLock lock(mutex_);
-  return specs_[static_cast<std::size_t>(site)];
+  check(id < sites_.size(), Status::kInvalidValue,
+        "fault site id " + std::to_string(id) + " out of range");
+  return sites_[id].spec;
 }
 
-FaultSiteStats FaultInjector::stats(FaultSite site) const {
+FaultSiteStats FaultInjector::stats(FaultSiteId id) const {
   MutexLock lock(mutex_);
-  return stats_[static_cast<std::size_t>(site)];
+  check(id < sites_.size(), Status::kInvalidValue,
+        "fault site id " + std::to_string(id) + " out of range");
+  return sites_[id].stats;
+}
+
+std::size_t FaultInjector::site_count() const {
+  MutexLock lock(mutex_);
+  return sites_.size();
 }
 
 void FaultInjector::reset_counters() {
   MutexLock lock(mutex_);
-  for (std::size_t i = 0; i < kFaultSiteCount; ++i) {
-    stats_[i] = FaultSiteStats{};
-    rngs_[i].seed(specs_[i].seed);
+  for (Site& site : sites_) {
+    site.stats = FaultSiteStats{};
+    site.rng.seed(site.spec.seed);
   }
 }
 

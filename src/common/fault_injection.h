@@ -4,19 +4,29 @@
 // workspace; this reproduction must not repeat the mistake one level up.
 // The FaultInjector lets tests (and soak runs) provoke the recoverable
 // failure classes — device-memory exhaustion, transient kernel failures,
-// corrupt/interrupted cache files — on a deterministic schedule so the
-// graceful-degradation chain in src/core can be exercised and its
-// "same computational semantics" guarantee asserted.
+// corrupt/interrupted cache files, serving-layer hiccups — on a
+// deterministic schedule so the graceful-degradation chain in src/core and
+// the overload ladder in src/serve can be exercised and their guarantees
+// asserted.
 //
 // Configuration comes from UCUDNN_FAULTS (or programmatically via
 // configure()). The spec is a ';'-separated list of site clauses:
 //
 //   UCUDNN_FAULTS="alloc:every=7;kernel:p=0.02,seed=42;cache:corrupt-load"
 //
-// Sites: alloc (Device::allocate), kernel (mcudnn::convolution and
+// Built-in sites: alloc (Device::allocate), kernel (mcudnn::convolution and
 // find_algorithms), cache-load / cache-save (BenchmarkCache file I/O).
 // The site "cache" requires one or both of the flags `corrupt-load` /
 // `fail-save` and applies its parameters to the flagged sub-sites.
+//
+// The site table is ADDITIVE: subsystems register further sites at runtime
+// with register_site() (the serving layer registers serve.enqueue /
+// serve.batch / serve.exec this way). Registration order and configure
+// order are independent — a clause naming a not-yet-registered dotted site
+// (every registered site name is namespaced like "serve.exec") is parsed,
+// validated, and parked; it arms the moment the site registers. Non-dotted
+// unknown names are still rejected as typos.
+//
 // Parameters per clause:
 //   every=N   trigger on every Nth check (deterministic)
 //   p=X       trigger with probability X in [0,1] (seeded PRNG — never
@@ -33,25 +43,33 @@
 // hot paths.
 #pragma once
 
-#include <array>
 #include <atomic>
 #include <cstdint>
 #include <limits>
+#include <map>
+#include <optional>
 #include <random>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "common/status.h"
 #include "common/thread_annotations.h"
 
 namespace ucudnn {
 
+/// The built-in sites, pre-registered by the FaultInjector constructor. The
+/// enumerator value doubles as the site's FaultSiteId.
 enum class FaultSite : int {
   kAlloc = 0,
   kKernel = 1,
   kCacheLoad = 2,
   kCacheSave = 3,
 };
-inline constexpr std::size_t kFaultSiteCount = 4;
+inline constexpr std::size_t kBuiltinFaultSiteCount = 4;
+
+/// Stable handle for a registered site (index into the site table).
+using FaultSiteId = std::size_t;
 
 constexpr std::string_view to_string(FaultSite site) noexcept {
   switch (site) {
@@ -87,9 +105,21 @@ class FaultInjector {
   /// inside an allocation path); programmatic configure() throws instead.
   static FaultInjector& instance();
 
+  /// Adds `name` to the site table (idempotent: re-registering returns the
+  /// existing id without touching its schedule or counters). `status` is the
+  /// Status thrown by fail_point() when the site fires. New sites must use a
+  /// namespaced, dotted name ("serve.exec") so UCUDNN_FAULTS clauses for
+  /// them can be distinguished from typos before registration; a parked
+  /// clause from an earlier configure()/env parse arms immediately.
+  /// Throws Error(kInvalidValue) for an un-dotted name.
+  FaultSiteId register_site(const std::string& name, Status status);
+
+  /// The id of a registered site, or nullopt.
+  std::optional<FaultSiteId> find_site(const std::string& name) const;
+
   /// Replaces the whole configuration, resets all counters, and reseeds the
-  /// per-site PRNGs. An empty spec disarms everything.
-  /// Throws Error(kInvalidValue) on a malformed spec.
+  /// per-site PRNGs. An empty spec disarms everything (including parked
+  /// clauses). Throws Error(kInvalidValue) on a malformed spec.
   void configure(const std::string& spec);
 
   /// True when any site is enabled; the single hot-path cost when idle.
@@ -97,26 +127,56 @@ class FaultInjector {
     return armed_.load(std::memory_order_relaxed);
   }
 
-  /// Consults `site`'s schedule; counts the check and (maybe) the trigger.
-  bool should_fail(FaultSite site);
+  /// Consults the site's schedule; counts the check and (maybe) the trigger.
+  bool should_fail(FaultSiteId id);
+  bool should_fail(FaultSite site) {
+    return should_fail(static_cast<FaultSiteId>(site));
+  }
 
-  /// Throws the site's mapped Error if should_fail(site): kAllocFailed for
-  /// alloc, kExecutionFailed for kernel, kInternalError for the cache sites.
-  void fail_point(FaultSite site);
+  /// Throws the site's registered Error when should_fail(): kAllocFailed for
+  /// alloc, kExecutionFailed for kernel, kInternalError for the cache sites,
+  /// whatever register_site declared for dynamic sites.
+  void fail_point(FaultSiteId id);
+  void fail_point(FaultSite site) {
+    fail_point(static_cast<FaultSiteId>(site));
+  }
 
-  FaultSpec spec(FaultSite site) const;
-  FaultSiteStats stats(FaultSite site) const;
+  FaultSpec spec(FaultSiteId id) const;
+  FaultSpec spec(FaultSite site) const {
+    return spec(static_cast<FaultSiteId>(site));
+  }
+  FaultSiteStats stats(FaultSiteId id) const;
+  FaultSiteStats stats(FaultSite site) const {
+    return stats(static_cast<FaultSiteId>(site));
+  }
+
+  /// Number of registered sites (built-ins + dynamic).
+  std::size_t site_count() const;
 
   /// Zeroes counters and reseeds PRNGs without touching the schedules.
   void reset_counters();
 
  private:
+  struct Site {
+    std::string name;
+    Status status = Status::kInternalError;
+    FaultSpec spec;
+    FaultSiteStats stats;
+    std::mt19937_64 rng;
+  };
+
   FaultInjector();
 
+  FaultSiteId register_site_locked(const std::string& name, Status status)
+      REQUIRES(mutex_);
+  void refresh_armed_locked() REQUIRES(mutex_);
+
   mutable Mutex mutex_{"FaultInjector"};
-  std::array<FaultSpec, kFaultSiteCount> specs_ GUARDED_BY(mutex_){};
-  std::array<FaultSiteStats, kFaultSiteCount> stats_ GUARDED_BY(mutex_){};
-  std::array<std::mt19937_64, kFaultSiteCount> rngs_ GUARDED_BY(mutex_){};
+  std::vector<Site> sites_ GUARDED_BY(mutex_);
+  std::map<std::string, FaultSiteId> ids_ GUARDED_BY(mutex_);
+  // Clauses parsed for dotted sites that have not registered yet; applied
+  // (and removed) by register_site. configure() replaces this wholesale.
+  std::map<std::string, FaultSpec> parked_ GUARDED_BY(mutex_);
   std::atomic<bool> armed_{false};
 };
 

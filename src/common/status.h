@@ -28,6 +28,12 @@ enum class [[nodiscard]] Status {
   kMappingError,
   kExecutionFailed,
   kNotSupported,
+  // Serving-layer terminal statuses (src/serve, docs/serving.md). Every
+  // request submitted to the serving front-end resolves to kSuccess, an
+  // execution error above, or exactly one of these three.
+  kDeadlineExceeded,  ///< deadline passed before or during service
+  kRejected,          ///< admission control refused (queue full / overload)
+  kShuttingDown,      ///< server draining; queued request failed, not run
 };
 
 /// Human-readable name of a Status, e.g. "UCUDNN_STATUS_BAD_PARAM".
@@ -43,6 +49,9 @@ enum class [[nodiscard]] Status {
     case Status::kMappingError: return "UCUDNN_STATUS_MAPPING_ERROR";
     case Status::kExecutionFailed: return "UCUDNN_STATUS_EXECUTION_FAILED";
     case Status::kNotSupported: return "UCUDNN_STATUS_NOT_SUPPORTED";
+    case Status::kDeadlineExceeded: return "UCUDNN_STATUS_DEADLINE_EXCEEDED";
+    case Status::kRejected: return "UCUDNN_STATUS_REJECTED";
+    case Status::kShuttingDown: return "UCUDNN_STATUS_SHUTTING_DOWN";
   }
   return "UCUDNN_STATUS_UNKNOWN";
 }

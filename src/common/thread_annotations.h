@@ -31,6 +31,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>  // thread-safety: allow (wrapped below)
 #include <cstdint>
 #include <cstdio>
@@ -463,6 +464,18 @@ class CondVar {
         mu.mu_, std::adopt_lock);
     cv_.wait(native);
     native.release();
+  }
+
+  /// Timed wait (the serving layer's batch window / watchdog waits). Returns
+  /// false when the wait timed out without a notification. Same adopt/release
+  /// dance and held-stack semantics as wait().
+  bool wait_for_us(Mutex& mu, std::int64_t timeout_us) REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(  // thread-safety: allow
+        mu.mu_, std::adopt_lock);
+    const std::cv_status status =
+        cv_.wait_for(native, std::chrono::microseconds(timeout_us));
+    native.release();
+    return status == std::cv_status::no_timeout;
   }
 
   void notify_one() noexcept { cv_.notify_one(); }

@@ -37,10 +37,16 @@
 //                                detection; only in builds compiling the
 //                                detector in (Debug/sanitizer presets; see
 //                                docs/analysis.md)              (unset = off)
+//   UCUDNN_SERVE_*               serving front-end knobs (workers, queue
+//                                capacity, batch window, deadlines, overload
+//                                watermarks) — read by serve::ServeOptions,
+//                                cataloged in src/serve/serve_options.h and
+//                                docs/serving.md
 //
 // The telemetry variables are read by the src/telemetry leaf directly (not
 // through Options): telemetry must stay includable from every layer without
-// creating a cycle back into core.
+// creating a cycle back into core. The UCUDNN_SERVE_* family likewise lives
+// in the serve layer, which sits on top of this facade.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,104 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ucudnn::serve {
+namespace {
+
+std::int64_t in_samples_elems(const kernels::ConvProblem& p) {
+  return p.x.c * p.x.h * p.x.w;
+}
+
+std::int64_t out_samples_elems(const kernels::ConvProblem& p) {
+  return p.y.c * p.y.h * p.y.w;
+}
+
+}  // namespace
+
+MergedBatch Batcher::build(const std::vector<TicketPtr>& members) const {
+  check_param(!members.empty(), "batch must have at least one member");
+  const ServeRequest& first = members.front()->request();
+
+  MergedBatch batch;
+  batch.type = first.type;
+  batch.alpha = first.alpha;
+  batch.beta = first.beta;
+  batch.b = first.weights;
+
+  for (const TicketPtr& member : members) {
+    const ServeRequest& req = member->request();
+    check_param(coalescible(first, req),
+                "batch members must be pairwise coalescible");
+    check_param(req.input != nullptr && req.weights != nullptr &&
+                    req.output != nullptr,
+                "serve requests must carry non-null operands");
+    batch.total += req.problem.batch();
+  }
+
+  // Only forward batches are merged: concatenating inputs along the batch
+  // dimension is exactly concatenating the outputs. Backward types run as
+  // singletons (the queue never coalesces them either).
+  const bool mergeable = first.type == ConvKernelType::kForward;
+  check_param(mergeable || members.size() == 1,
+              "only forward batches may have multiple members");
+
+  batch.padded = (mergeable && pad_to_pow2_) ? next_pow2(batch.total)
+                                             : batch.total;
+  batch.problem = first.problem.with_batch(batch.padded);
+  batch.staged = mergeable && (members.size() > 1 || batch.padded != batch.total);
+
+  if (!batch.staged) {
+    batch.a = first.input;
+    batch.out = first.output;
+    return batch;
+  }
+
+  const std::int64_t in_per_sample = in_samples_elems(first.problem);
+  const std::int64_t out_per_sample = out_samples_elems(first.problem);
+  // Zero-init so pad samples contribute exact zeros (and, with beta != 0,
+  // accumulate onto zeros — the pad slice is discarded by scatter anyway).
+  batch.in_stage.assign(
+      static_cast<std::size_t>(batch.padded * in_per_sample), 0.0f);
+  batch.out_stage.assign(
+      static_cast<std::size_t>(batch.padded * out_per_sample), 0.0f);
+
+  std::int64_t offset = 0;
+  for (const TicketPtr& member : members) {
+    const ServeRequest& req = member->request();
+    const std::int64_t samples = req.problem.batch();
+    std::memcpy(batch.in_stage.data() + offset * in_per_sample, req.input,
+                static_cast<std::size_t>(samples * in_per_sample) *
+                    sizeof(float));
+    if (batch.beta != 0.0f) {
+      // beta-accumulation reads the prior output; feed each member's in.
+      std::memcpy(batch.out_stage.data() + offset * out_per_sample,
+                  req.output,
+                  static_cast<std::size_t>(samples * out_per_sample) *
+                      sizeof(float));
+    }
+    offset += samples;
+  }
+  batch.a = batch.in_stage.data();
+  batch.out = batch.out_stage.data();
+  return batch;
+}
+
+void Batcher::scatter(const MergedBatch& batch,
+                      const std::vector<TicketPtr>& members) const {
+  if (!batch.staged) return;
+  const std::int64_t out_per_sample =
+      out_samples_elems(members.front()->request().problem);
+  std::int64_t offset = 0;
+  for (const TicketPtr& member : members) {
+    const ServeRequest& req = member->request();
+    const std::int64_t samples = req.problem.batch();
+    std::memcpy(req.output,
+                batch.out_stage.data() + offset * out_per_sample,
+                static_cast<std::size_t>(samples * out_per_sample) *
+                    sizeof(float));
+    offset += samples;
+  }
+}
+
+}  // namespace ucudnn::serve

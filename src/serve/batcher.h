@@ -1,0 +1,66 @@
+// Batcher — turns a set of coalescible requests into ONE merged convolution
+// call whose mini-batch the planner then divides into micro-batches
+// (docs/serving.md). This is the paper's trick inverted: instead of
+// splitting one large mini-batch to fit the workspace, many small
+// concurrent requests are aggregated into an optimally-divided batch.
+//
+// Forward batches are concatenated along the batch dimension into staging
+// buffers (and optionally padded with zero samples up to the next power of
+// two, so the planner only ever sees O(log max_batch) distinct mini-batch
+// sizes); the merged outputs are scattered back per member afterwards.
+// Backward kernel types are never merged or padded — they execute as
+// singleton batches straight on the caller's buffers, bitwise-identical to
+// an unserved call.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace ucudnn::serve {
+
+/// One ready-to-execute merged convolution. When `staged` the operand
+/// pointers alias the staging vectors; otherwise they alias the single
+/// member's buffers directly.
+struct MergedBatch {
+  kernels::ConvProblem problem;  ///< merged (possibly padded) problem
+  ConvKernelType type = ConvKernelType::kForward;
+  std::int64_t total = 0;   ///< sum of member sample counts
+  std::int64_t padded = 0;  ///< problem.batch() (>= total)
+  float alpha = 1.0f;
+  float beta = 0.0f;
+  const float* a = nullptr;
+  const float* b = nullptr;
+  float* out = nullptr;
+  bool staged = false;
+  std::vector<float> in_stage;
+  std::vector<float> out_stage;
+};
+
+class Batcher {
+ public:
+  explicit Batcher(bool pad_to_pow2) : pad_to_pow2_(pad_to_pow2) {}
+
+  /// Builds the merged call for `members` (non-empty, pairwise coalescible —
+  /// the queue guarantees both). Copies member inputs (and, when beta != 0,
+  /// prior outputs) into the staging buffers when staging is needed.
+  /// Throws Error(kBadParam) on a malformed member set.
+  MergedBatch build(const std::vector<TicketPtr>& members) const;
+
+  /// Copies each member's output slice back out of a staged batch. No-op
+  /// for direct (unstaged) batches.
+  void scatter(const MergedBatch& batch,
+               const std::vector<TicketPtr>& members) const;
+
+  static std::int64_t next_pow2(std::int64_t n) noexcept {
+    std::int64_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+ private:
+  bool pad_to_pow2_;
+};
+
+}  // namespace ucudnn::serve

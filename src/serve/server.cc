@@ -1,0 +1,299 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <string>
+#include <thread>
+
+#include "common/logging.h"
+#include "telemetry/trace.h"
+
+namespace ucudnn::serve {
+namespace {
+
+Clock::duration ms_to_duration(double ms) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace
+
+Server::Server(core::UcudnnHandle& handle, ServeOptions opts)
+    : handle_(handle),
+      opts_(opts),
+      batcher_(opts.pad_to_pow2),
+      queue_(opts),
+      enqueue_site_(FaultInjector::instance().register_site(
+          "serve.enqueue", Status::kRejected)),
+      batch_site_(FaultInjector::instance().register_site(
+          "serve.batch", Status::kExecutionFailed)),
+      exec_site_(FaultInjector::instance().register_site(
+          "serve.exec", Status::kExecutionFailed)) {
+  opts_.validate();
+  auto& metrics = telemetry::MetricsRegistry::instance();
+  m_admitted_ = metrics.counter("ucudnn.serve.admitted");
+  m_rejected_ = metrics.counter("ucudnn.serve.rejected");
+  m_expired_ = metrics.counter("ucudnn.serve.expired");
+  m_shed_ = metrics.counter("ucudnn.serve.shed");
+  m_retried_ = metrics.counter("ucudnn.serve.retried");
+  m_completed_ = metrics.counter("ucudnn.serve.completed");
+  m_exec_failed_ = metrics.counter("ucudnn.serve.exec_failed");
+  m_shutdown_failed_ = metrics.counter("ucudnn.serve.shutdown_failed");
+  m_batches_ = metrics.counter("ucudnn.serve.batches");
+  m_batched_requests_ = metrics.counter("ucudnn.serve.batched_requests");
+  m_depth_ = metrics.gauge("ucudnn.serve.queue_depth");
+  m_level_ = metrics.gauge("ucudnn.serve.overload_level");
+  m_e2e_ms_ = metrics.histogram("ucudnn.serve.e2e_ms");
+  m_queue_wait_ms_ = metrics.histogram("ucudnn.serve.queue_wait_ms");
+  m_occupancy_ = metrics.histogram("ucudnn.serve.batch_occupancy");
+
+  if (opts_.workers > 0) {
+    pool_ = std::make_unique<ThreadPool>(
+        static_cast<std::size_t>(opts_.workers));
+    for (int i = 0; i < opts_.workers; ++i) {
+      pool_->submit([this] { worker_loop(); });
+    }
+  }
+}
+
+Server::~Server() { drain(); }
+
+void Server::finish(const TicketPtr& ticket, Status status) {
+  if (!ticket->resolve(status)) return;
+  m_e2e_ms_.observe_ms(ticket->latency_ms());
+  switch (status) {
+    case Status::kSuccess:
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      m_completed_.add();
+      break;
+    case Status::kDeadlineExceeded:
+      expired_.fetch_add(1, std::memory_order_relaxed);
+      m_expired_.add();
+      break;
+    case Status::kRejected:
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      m_rejected_.add();
+      break;
+    case Status::kShuttingDown:
+      shutdown_failed_.fetch_add(1, std::memory_order_relaxed);
+      m_shutdown_failed_.add();
+      break;
+    default:
+      exec_failed_.fetch_add(1, std::memory_order_relaxed);
+      m_exec_failed_.add();
+      break;
+  }
+}
+
+void Server::update_load_gauges() {
+  m_depth_.set(static_cast<std::int64_t>(queue_.depth()));
+  m_level_.set(queue_.overload_level());
+}
+
+std::int64_t Server::effective_window_us() const {
+  // Overload ladder rung 1+: collapse the batch window so queued work
+  // drains at maximum rate instead of idling for stragglers.
+  return queue_.overload_level() >= 1 ? 0 : opts_.batch_window_us;
+}
+
+TicketPtr Server::submit(ServeRequest request) {
+  auto ticket = std::make_shared<Ticket>(std::move(request));
+  const double deadline_ms = ticket->request().deadline_ms > 0.0
+                                 ? ticket->request().deadline_ms
+                                 : opts_.default_deadline_ms;
+  if (deadline_ms > 0.0) {
+    ticket->set_deadline(ticket->submitted() + ms_to_duration(deadline_ms));
+  }
+
+  if (drained_.load(std::memory_order_acquire)) {
+    finish(ticket, Status::kShuttingDown);
+    return ticket;
+  }
+
+  FaultInjector& injector = FaultInjector::instance();
+  if (injector.armed() && injector.should_fail(enqueue_site_)) {
+    UCUDNN_LOG_DEBUG << "serve: injected admission rejection";
+    finish(ticket, Status::kRejected);
+    return ticket;
+  }
+
+  RequestQueue::Admission admission =
+      queue_.try_enqueue(ticket, service_estimate_ms());
+  for (const TicketPtr& stale : admission.expired) {
+    finish(stale, Status::kDeadlineExceeded);
+  }
+  for (const TicketPtr& victim : admission.shed) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    m_shed_.add();
+    finish(victim, Status::kRejected);
+  }
+  switch (admission.status) {
+    case Status::kSuccess:
+      admitted_.fetch_add(1, std::memory_order_relaxed);
+      m_admitted_.add();
+      break;
+    default:
+      finish(ticket, admission.status);
+      break;
+  }
+  update_load_gauges();
+  return ticket;
+}
+
+std::size_t Server::shed_expired() {
+  const std::vector<TicketPtr> stale = queue_.shed_expired();
+  for (const TicketPtr& ticket : stale) {
+    finish(ticket, Status::kDeadlineExceeded);
+  }
+  update_load_gauges();
+  return stale.size();
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    std::vector<TicketPtr> stale;
+    std::vector<TicketPtr> batch =
+        queue_.next_batch(effective_window_us(), opts_.max_batch,
+                          service_estimate_ms(), &stale);
+    for (const TicketPtr& ticket : stale) {
+      finish(ticket, Status::kDeadlineExceeded);
+    }
+    if (batch.empty()) {
+      // Either the queue is draining (exit) or the wait was cut short just
+      // to hand back freshly expired tickets (resolved above — go again).
+      if (queue_.draining()) return;
+      update_load_gauges();
+      continue;
+    }
+    try {
+      process_batch(batch);
+    } catch (const std::exception& e) {
+      // process_batch owns failure resolution; anything escaping is a bug,
+      // but a worker must never die with tickets unresolved.
+      UCUDNN_LOG_ERROR << "serve: batch processing escaped: " << e.what();
+      for (const TicketPtr& ticket : batch) {
+        finish(ticket, Status::kInternalError);
+      }
+    }
+    update_load_gauges();
+  }
+}
+
+void Server::execute_once(const std::vector<TicketPtr>& batch) {
+  FaultInjector& injector = FaultInjector::instance();
+  if (injector.armed()) injector.fail_point(batch_site_);
+  MergedBatch merged = batcher_.build(batch);
+  {
+    telemetry::ScopedSpan span("serve_exec", [&merged] {
+      return merged.problem.to_string() + " total=" +
+             std::to_string(merged.total);
+    });
+    if (injector.armed()) injector.fail_point(exec_site_);
+    MutexLock lock(exec_mutex_);
+    handle_.convolution(merged.type, merged.problem, merged.alpha, merged.a,
+                        merged.b, merged.beta, merged.out);
+  }
+  batcher_.scatter(merged, batch);
+}
+
+void Server::process_batch(std::vector<TicketPtr>& batch) {
+  const Clock::time_point start = Clock::now();
+  telemetry::ScopedSpan span("serve_batch", [&batch] {
+    return std::to_string(batch.size()) + " request(s)";
+  });
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  m_batches_.add();
+  batched_requests_.fetch_add(batch.size(), std::memory_order_relaxed);
+  m_batched_requests_.add(batch.size());
+  std::int64_t samples = 0;
+  for (const TicketPtr& ticket : batch) {
+    samples += ticket->request().problem.batch();
+    m_queue_wait_ms_.observe_ms(
+        std::chrono::duration<double, std::milli>(start - ticket->submitted())
+            .count());
+  }
+  m_occupancy_.observe_ms(static_cast<double>(samples));
+
+  Status failure = Status::kSuccess;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      execute_once(batch);
+      break;
+    } catch (const Error& e) {
+      const Clock::time_point now = Clock::now();
+      const bool all_expired =
+          std::all_of(batch.begin(), batch.end(), [now](const TicketPtr& t) {
+            return t->expired(now);
+          });
+      // Retries stay on during drain: they are bounded (max_retries with
+      // capped backoff), and skipping them would leak kExecutionFailed where
+      // the ticket contract promises success/deadline/reject/shutdown.
+      if (e.status() == Status::kExecutionFailed &&
+          attempt < opts_.max_retries && !all_expired) {
+        retried_.fetch_add(1, std::memory_order_relaxed);
+        m_retried_.add();
+        UCUDNN_LOG_WARN << "serve: transient batch failure (attempt "
+                        << attempt + 1 << "): " << e.what();
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(opts_.retry_backoff_us << attempt));
+        continue;
+      }
+      UCUDNN_LOG_ERROR << "serve: batch failed terminally: " << e.what();
+      failure = e.status();
+      break;
+    }
+  }
+
+  const double service_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  // Lossy EWMA update: concurrent workers may clobber each other's store,
+  // which only costs estimate freshness, never correctness.
+  const double prev = ewma_ms_.load(std::memory_order_relaxed);
+  ewma_ms_.store(prev == 0.0 ? service_ms : 0.8 * prev + 0.2 * service_ms,
+                 std::memory_order_relaxed);
+
+  const Clock::time_point done = Clock::now();
+  for (const TicketPtr& ticket : batch) {
+    if (ticket->expired(done)) {
+      // Whatever happened, the deadline contract wins (an expired member of
+      // a failed batch is a deadline miss, and a result that arrived late
+      // is too — so p99 of successful requests stays bounded by the
+      // deadline).
+      finish(ticket, Status::kDeadlineExceeded);
+    } else {
+      finish(ticket, failure);  // kSuccess when the batch went through
+    }
+  }
+}
+
+void Server::drain() {
+  MutexLock lock(drain_mutex_);
+  if (drained_.load(std::memory_order_acquire)) return;
+  drained_.store(true, std::memory_order_release);
+  std::vector<TicketPtr> leftovers = queue_.close();
+  for (const TicketPtr& ticket : leftovers) {
+    finish(ticket, Status::kShuttingDown);
+  }
+  // Workers flush whatever batch they already collected, observe draining,
+  // and return; the pool destructor joins them.
+  pool_.reset();
+  update_load_gauges();
+}
+
+Server::Counters Server::counters() const {
+  Counters c;
+  c.admitted = admitted_.load(std::memory_order_relaxed);
+  c.rejected = rejected_.load(std::memory_order_relaxed);
+  c.expired = expired_.load(std::memory_order_relaxed);
+  c.shed = shed_.load(std::memory_order_relaxed);
+  c.retried = retried_.load(std::memory_order_relaxed);
+  c.completed = completed_.load(std::memory_order_relaxed);
+  c.exec_failed = exec_failed_.load(std::memory_order_relaxed);
+  c.shutdown_failed = shutdown_failed_.load(std::memory_order_relaxed);
+  c.batches = batches_.load(std::memory_order_relaxed);
+  c.batched_requests = batched_requests_.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace ucudnn::serve

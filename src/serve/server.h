@@ -1,0 +1,159 @@
+// Server — the resilient multi-tenant serving front-end (docs/serving.md).
+//
+// Ties the pieces together: submit() runs deadline-aware admission into the
+// bounded RequestQueue; a worker pool collects coalescible batches (holding
+// them open up to the batch window), merges them through the Batcher, and
+// executes ONE micro-batched convolution per batch on the shared
+// UcudnnHandle — so concurrent small requests ride the planner's optimal
+// micro-batch division instead of thrashing it with batch-1 calls.
+//
+// Robustness guarantees (asserted by tests/serve_test.cc):
+//  * submit() never blocks unboundedly — every path returns a Ticket that
+//    is either queued or already resolved (kRejected / kDeadlineExceeded /
+//    kShuttingDown).
+//  * Every admitted Ticket resolves exactly once, including under drain,
+//    overload shedding, injected faults, and execution failure.
+//  * Transient kExecutionFailed is retried with exponential backoff up to
+//    UCUDNN_SERVE_MAX_RETRIES times (on top of the executor's own
+//    re-plan/blacklist ladder); retries are skipped once every member of
+//    the batch has expired.
+//  * drain() stops admission, flushes in-flight batches, fails everything
+//    still queued with kShuttingDown, and joins the workers. Idempotent.
+//
+// Fault sites (UCUDNN_FAULTS): serve.enqueue (admission rejects),
+// serve.batch (batch assembly fails), serve.exec (execution fails —
+// exercises the retry ladder).
+//
+// Metrics: ucudnn.serve.{admitted,rejected,expired,shed,retried,completed,
+// exec_failed,shutdown_failed,batches,batched_requests} counters,
+// ucudnn.serve.{queue_depth,overload_level} gauges, and
+// ucudnn.serve.{e2e_ms,queue_wait_ms,batch_occupancy} histograms.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/thread_annotations.h"
+#include "common/thread_pool.h"
+#include "core/ucudnn.h"
+#include "serve/batcher.h"
+#include "serve/request.h"
+#include "serve/request_queue.h"
+#include "serve/serve_options.h"
+#include "telemetry/metrics.h"
+
+namespace ucudnn::serve {
+
+class Server {
+ public:
+  /// The handle must outlive the server. One PlanCache / BenchmarkCache —
+  /// the handle's — is shared by every worker; execution on it is
+  /// serialized internally (UcudnnHandle is not thread-safe).
+  Server(core::UcudnnHandle& handle, ServeOptions opts);
+  /// Options from the UCUDNN_SERVE_* environment.
+  explicit Server(core::UcudnnHandle& handle)
+      : Server(handle, ServeOptions::from_env()) {}
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Non-blocking admission. Always returns a valid Ticket; on any
+  /// non-admitted path the ticket is already resolved when it returns.
+  TicketPtr submit(ServeRequest request);
+
+  /// Graceful shutdown: stop admission, flush in-flight batches, resolve
+  /// everything still queued with kShuttingDown, join workers. Idempotent,
+  /// safe from any thread.
+  void drain();
+
+  bool draining() const noexcept {
+    return drained_.load(std::memory_order_acquire);
+  }
+
+  /// Resolves every queued request whose deadline has passed (maintenance
+  /// hook; workers shed lazily anyway). Returns how many were shed.
+  std::size_t shed_expired();
+
+  // --- introspection ------------------------------------------------------
+
+  /// Per-server snapshot of the ucudnn.serve.* counters (process-wide
+  /// metrics aggregate across servers; tests want isolation).
+  struct Counters {
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;         ///< kRejected resolutions
+    std::uint64_t expired = 0;          ///< kDeadlineExceeded resolutions
+    std::uint64_t shed = 0;             ///< priority evictions (in rejected)
+    std::uint64_t retried = 0;          ///< batch execution retries
+    std::uint64_t completed = 0;        ///< kSuccess resolutions
+    std::uint64_t exec_failed = 0;      ///< non-deadline failure resolutions
+    std::uint64_t shutdown_failed = 0;  ///< kShuttingDown resolutions
+    std::uint64_t batches = 0;          ///< merged batches executed
+    std::uint64_t batched_requests = 0; ///< requests across those batches
+  };
+  Counters counters() const;
+
+  std::size_t queue_depth() const { return queue_.depth(); }
+  int overload_level() const { return queue_.overload_level(); }
+  /// EWMA of recent batch execution times; 0 until the first batch.
+  double service_estimate_ms() const noexcept {
+    return ewma_ms_.load(std::memory_order_relaxed);
+  }
+  const ServeOptions& options() const noexcept { return opts_; }
+
+ private:
+  void worker_loop();
+  void process_batch(std::vector<TicketPtr>& batch);
+  /// Builds, (fault-point) executes, and scatters one merged batch.
+  /// Throws on failure; the caller owns the retry ladder.
+  void execute_once(const std::vector<TicketPtr>& batch);
+  /// Resolves (first-wins) and counts; no-op if already resolved.
+  void finish(const TicketPtr& ticket, Status status);
+  std::int64_t effective_window_us() const;
+  void update_load_gauges();
+
+  core::UcudnnHandle& handle_;
+  const ServeOptions opts_;
+  Batcher batcher_;
+  RequestQueue queue_;
+
+  FaultSiteId enqueue_site_;
+  FaultSiteId batch_site_;
+  FaultSiteId exec_site_;
+
+  /// UcudnnHandle::convolution (planner state, exec records) is not
+  /// thread-safe; workers share the handle under this lock. PlanCache /
+  /// BenchmarkCache hits still amortize across all workers.
+  Mutex exec_mutex_{"serve.Server.exec"};
+
+  std::atomic<double> ewma_ms_{0.0};
+  std::atomic<bool> drained_{false};
+  /// Serializes drain() (and the destructor) against concurrent drainers.
+  Mutex drain_mutex_{"serve.Server.drain"};
+
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> retried_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> exec_failed_{0};
+  std::atomic<std::uint64_t> shutdown_failed_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batched_requests_{0};
+
+  telemetry::Counter m_admitted_, m_rejected_, m_expired_, m_shed_,
+      m_retried_, m_completed_, m_exec_failed_, m_shutdown_failed_,
+      m_batches_, m_batched_requests_;
+  telemetry::Gauge m_depth_, m_level_;
+  telemetry::Histogram m_e2e_ms_, m_queue_wait_ms_, m_occupancy_;
+
+  /// Last member: destroyed first, but drain() (not the pool destructor)
+  /// is what unblocks the workers.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace ucudnn::serve

@@ -21,6 +21,7 @@
 #include "core/planner.h"
 #include "kernels/conv_problem.h"
 #include "mcudnn/mcudnn.h"
+#include "serve/server.h"
 #include "telemetry/metrics.h"
 
 namespace ucudnn {
@@ -275,6 +276,71 @@ TEST_F(LockOrderDetectorTest, DisabledDetectorRecordsNothing) {
   }
   EXPECT_EQ(g_violations.load(), 0);
   EXPECT_EQ(lockorder::edge_count(), 0u);
+}
+
+// --- serving front-end queue stress (run under the tsan preset) -----------
+
+TEST(ServeConcurrencyTest, EightThreadSubmitWaitStress) {
+  core::Options core_opts;
+  core_opts.batch_size_policy = core::BatchSizePolicy::kPowerOfTwo;
+  core_opts.workspace_limit = std::size_t{4} << 20;
+  core::UcudnnHandle handle(
+      std::make_shared<device::Device>(device::host_cpu_spec()), core_opts);
+
+  serve::ServeOptions opts;
+  opts.workers = 2;
+  opts.queue_capacity = 32;  // 8 clients x 1 outstanding: no shedding rung
+  opts.batch_window_us = 50;
+  opts.max_batch = 8;
+  serve::Server server(handle, opts);
+
+  const kernels::ConvProblem problem({1, 2, 6, 6}, {4, 2, 3, 3},
+                                     {.pad_h = 1, .pad_w = 1});
+  std::vector<float> weights(static_cast<std::size_t>(problem.w.count()),
+                             0.25f);
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 50;
+  std::atomic<int> completed{0};
+  std::atomic<int> unresolved{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // One outstanding request per thread; buffers are reused only after
+      // the previous request resolved.
+      std::vector<float> input(static_cast<std::size_t>(problem.x.count()),
+                               1.0f + 0.01f * static_cast<float>(t));
+      std::vector<float> output(static_cast<std::size_t>(problem.y.count()),
+                                0.0f);
+      for (int i = 0; i < kIters; ++i) {
+        serve::ServeRequest req;
+        req.problem = problem;
+        req.input = input.data();
+        req.weights = weights.data();
+        req.output = output.data();
+        serve::TicketPtr ticket = server.submit(std::move(req));
+        Status status = Status::kInternalError;
+        if (!ticket->wait_for_us(30'000'000, &status)) {
+          unresolved.fetch_add(1);
+          return;  // never reuse buffers a lost request still points at
+        }
+        if (status == Status::kSuccess) completed.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(unresolved.load(), 0);
+  EXPECT_EQ(completed.load(), kThreads * kIters);
+
+  // Concurrent drains are idempotent and race-free.
+  std::thread d1([&server] { server.drain(); });
+  std::thread d2([&server] { server.drain(); });
+  d1.join();
+  d2.join();
+  EXPECT_TRUE(server.draining());
+  EXPECT_EQ(server.counters().completed,
+            static_cast<std::uint64_t>(kThreads * kIters));
 }
 
 }  // namespace

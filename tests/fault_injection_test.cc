@@ -80,6 +80,52 @@ TEST_F(FaultInjectionTest, RejectsMalformedSpecs) {
   EXPECT_FALSE(fi.armed());
 }
 
+TEST_F(FaultInjectionTest, DottedSiteClausesParkUntilRegistration) {
+  FaultInjector& fi = FaultInjector::instance();
+  // A clause naming a dotted (namespaced) site parses before the site
+  // exists: it parks, arms the injector, and applies the moment the site
+  // registers — so UCUDNN_FAULTS works no matter whether the subsystem that
+  // owns the site initializes before or after the spec is read.
+  fi.configure("acme.later:every=2,count=3");
+  EXPECT_TRUE(fi.armed());
+  EXPECT_FALSE(fi.find_site("acme.later").has_value());
+
+  const FaultSiteId id =
+      fi.register_site("acme.later", Status::kInternalError);
+  ASSERT_TRUE(fi.find_site("acme.later").has_value());
+  EXPECT_EQ(*fi.find_site("acme.later"), id);
+  EXPECT_TRUE(fi.spec(id).enabled);
+  EXPECT_EQ(fi.spec(id).every, 2u);
+  EXPECT_EQ(fi.spec(id).count, 3u);
+  EXPECT_FALSE(fi.should_fail(id));
+  EXPECT_TRUE(fi.should_fail(id));
+
+  // Re-registration is idempotent: same id, schedule and counters intact.
+  EXPECT_EQ(fi.register_site("acme.later", Status::kAllocFailed), id);
+  EXPECT_EQ(fi.stats(id).checks, 2u);
+  EXPECT_TRUE(fi.spec(id).enabled);
+
+  // The reverse order works identically: configuring an already-registered
+  // dynamic site applies directly, and fail_point throws the status the
+  // site was first registered with.
+  fi.configure("acme.later:every=1");
+  try {
+    fi.fail_point(id);
+    FAIL() << "expected the registered status";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.status(), Status::kInternalError);
+  }
+
+  // An empty spec disarms parked clauses too, and a non-dotted unknown name
+  // is still rejected as a typo.
+  fi.configure("zzz.unseen:every=1");
+  EXPECT_TRUE(fi.armed());
+  fi.configure("");
+  EXPECT_FALSE(fi.armed());
+  EXPECT_THROW(fi.configure("acmelater:every=1"), Error);
+  EXPECT_THROW(fi.register_site("undotted", Status::kInternalError), Error);
+}
+
 TEST_F(FaultInjectionTest, EveryNScheduleIsDeterministic) {
   FaultInjector& fi = FaultInjector::instance();
   fi.configure("kernel:every=3");

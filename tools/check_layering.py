@@ -25,6 +25,11 @@ here:
   6. src/common/thread_annotations.h is the locking leaf: includable from
      everywhere (including telemetry), it must itself include only system
      headers — no quoted project-local includes at all.
+  7. src/serve/** sits on TOP of the facade: it may include serve/, core/,
+     kernels/, common/ and telemetry/ headers, nothing else (no mcudnn/, no
+     frameworks/ — serving talks to the library through UcudnnHandle only).
+  8. Nothing outside src/serve includes serve/ headers back: the serving
+     front-end is a top layer, not a dependency of the library.
 
 Usage:  check_layering.py [--self-test] [ROOT]
 
@@ -53,6 +58,18 @@ TELEMETRY_LEAF_EXTRA = ("common/thread_annotations.h",)
 # nothing project-local (it reads its env gate with std::getenv directly).
 LOCKING_LEAF = re.compile(r"^src/common/thread_annotations\.h$")
 
+# The serving front-end is a TOP layer (rule 7): an allowlist of the quoted
+# include prefixes it may use. Everything else — mcudnn/, frameworks/,
+# device/ internals — must be reached through the core/ucudnn.h facade.
+SERVE_LAYER = re.compile(r"^src/serve/.+\.(h|cc)$")
+SERVE_ALLOWED_PREFIXES = (
+    "serve/",
+    "core/",
+    "kernels/",
+    "common/",
+    "telemetry/",
+)
+
 # (file-selector, forbidden-include prefixes, rationale) — selectors are
 # matched against the path relative to ROOT, with / separators.
 RULES = [
@@ -75,6 +92,13 @@ RULES = [
         re.compile(r"^src/frameworks/.+\.(h|cc)$"),
         ("mcudnn/",),
         "frameworks integrate through the core/ucudnn.h facade only",
+    ),
+    # Rule 8: the serving front-end is a top layer — no library code may
+    # include back into it (negative lookahead exempts serve itself).
+    (
+        re.compile(r"^src/(?!serve/).+\.(h|cc)$"),
+        ("serve/",),
+        "the serving front-end sits on top; the library never includes it",
     ),
 ]
 
@@ -122,7 +146,8 @@ def check_text(rel: str, raw: str) -> list[str]:
     rules = [r for r in RULES if r[0].match(rel)]
     leaf = TELEMETRY_LEAF.match(rel) is not None
     locking_leaf = LOCKING_LEAF.match(rel) is not None
-    if not rules and not leaf and not locking_leaf:
+    serve = SERVE_LAYER.match(rel) is not None
+    if not rules and not leaf and not locking_leaf and not serve:
         return []
     clean = strip_comments_and_strings(raw)
     raw_lines = raw.splitlines()
@@ -144,6 +169,16 @@ def check_text(rel: str, raw: str) -> list[str]:
                 f'"{header}" (telemetry is a leaf: only telemetry/, the '
                 "locking leaf, and system headers)"
             )
+        if (
+            serve
+            and delim == '"'
+            and not header.startswith(SERVE_ALLOWED_PREFIXES)
+        ):
+            findings.append(
+                f"{rel}:{line}: layering: {rel} must not include "
+                f'"{header}" (serve sits on the facade: only serve/, core/, '
+                "kernels/, common/, telemetry/, and system headers)"
+            )
         if locking_leaf and delim == '"':
             findings.append(
                 f"{rel}:{line}: layering: {rel} must not include "
@@ -161,7 +196,13 @@ def check_text(rel: str, raw: str) -> list[str]:
 
 def scan_tree(root: Path) -> list[str]:
     findings = []
-    for base in ("src/common", "src/core", "src/frameworks", "src/telemetry"):
+    for base in (
+        "src/common",
+        "src/core",
+        "src/frameworks",
+        "src/serve",
+        "src/telemetry",
+    ):
         directory = root / base
         if not directory.is_dir():
             continue
@@ -240,6 +281,34 @@ def self_test() -> int:
         ),
         # Other common/ files are out of scope for the locking-leaf rule.
         ("src/common/thread_pool.h", '#include "common/env.h"\n', 0),
+        # Rule 7: serve may include its allowed surface...
+        (
+            "src/serve/server.cc",
+            '#include "serve/request_queue.h"\n'
+            '#include "core/ucudnn.h"\n'
+            '#include "kernels/conv_problem.h"\n'
+            '#include "common/thread_pool.h"\n'
+            '#include "telemetry/metrics.h"\n'
+            "#include <atomic>\n",
+            0,
+        ),
+        # ...but never reaches under the facade or sideways into frameworks.
+        ("src/serve/server.cc", '#include "mcudnn/mcudnn.h"\n', 1),
+        ("src/serve/batcher.h", '#include "frameworks/caffepp/net.h"\n', 1),
+        ("src/serve/request.h", '#include "device/device.h"\n', 1),
+        (
+            "src/serve/server.cc",
+            '#include "mcudnn/mcudnn.h"  // layering: allow\n',
+            0,
+        ),
+        # Rule 8: nothing in the library includes serve/ back.
+        ("src/core/ucudnn.cc", '#include "serve/server.h"\n', 1),
+        ("src/common/thread_pool.h", '#include "serve/request.h"\n', 1),
+        ("src/frameworks/tfmini/tfmini.cc", '#include "serve/server.h"\n', 1),
+        # Telemetry including serve trips both the leaf and rule 8.
+        ("src/telemetry/metrics.cc", '#include "serve/request.h"\n', 2),
+        # serve including serve is of course fine.
+        ("src/serve/batcher.cc", '#include "serve/batcher.h"\n', 0),
     ]
     failures = []
     for rel, text, expected in cases:

@@ -180,6 +180,9 @@ def self_test() -> int:
       try { g(); } catch (const std::exception& e) { count++; }
       for (;;) { try { g(); } catch (const Error& e) { ++failures; continue; } }
       try { g(); } catch (...) { MutexLock lock(mu); ++swallowed; }
+      // Counting a serving-layer terminal status without resolving, logging,
+      // or propagating it still swallows the error.
+      try { g(); } catch (const Error& e) { ++deadline_exceeded_count; }
     }
     """
     good = """
@@ -193,6 +196,18 @@ def self_test() -> int:
       try { g(); } catch (const Error& e) {
         if (e.status() != Status::kExecutionFailed) throw;
         ++retries;  // retry loop: selective rethrow is handling
+      }
+      // Serving-layer terminal statuses: converting an exception into a
+      // ticket resolution (kDeadlineExceeded / kRejected / kShuttingDown)
+      // is handling — the status is inspected, not dropped.
+      try { g(); } catch (const Error& e) {
+        if (e.status() == Status::kDeadlineExceeded) ++expired;
+        ticket->resolve(e.status());
+      }
+      if (queue_full) return Status::kRejected;
+      if (draining) return Status::kShuttingDown;
+      try { g(); } catch (const Error& e) {
+        UCUDNN_LOG_WARN << "shedding: " << to_string(Status::kRejected);
       }
       try { g(); } catch (...) {
         // Recording the exception under a lock (the ThreadPool::parallel_for
@@ -211,17 +226,17 @@ def self_test() -> int:
     good_findings = find_ignored_status(
         clean_good, good.splitlines(), Path("good.cc")
     ) + find_swallowed_exceptions(clean_good, good.splitlines(), Path("good.cc"))
-    ok = len(bad_findings) == 6 and not good_findings
+    ok = len(bad_findings) == 7 and not good_findings
     if not ok:
         print("self-test FAILED")
-        print(f"  expected 6 findings in bad sample, got {len(bad_findings)}:")
+        print(f"  expected 7 findings in bad sample, got {len(bad_findings)}:")
         for f in bad_findings:
             print(f"    {f}")
         print(f"  expected 0 findings in good sample, got {len(good_findings)}:")
         for f in good_findings:
             print(f"    {f}")
         return 1
-    print("self-test passed (6 positives caught, 0 false positives)")
+    print("self-test passed (7 positives caught, 0 false positives)")
     return 0
 
 
