@@ -28,7 +28,10 @@ MergedBatch Batcher::build(const std::vector<TicketPtr>& members) const {
 
   for (const TicketPtr& member : members) {
     const ServeRequest& req = member->request();
-    check_param(coalescible(first, req),
+    // coalescible() is false for any backward pair (even a request against
+    // itself), so only cross-member merges are checked against it; backward
+    // singletons are legal.
+    check_param(member == members.front() || coalescible(first, req),
                 "batch members must be pairwise coalescible");
     check_param(req.input != nullptr && req.weights != nullptr &&
                     req.output != nullptr,
@@ -38,7 +41,7 @@ MergedBatch Batcher::build(const std::vector<TicketPtr>& members) const {
 
   // Only forward batches are merged: concatenating inputs along the batch
   // dimension is exactly concatenating the outputs. Backward types run as
-  // singletons (the queue never coalesces them either).
+  // singletons (coalescible() refuses them, so the queue never merges them).
   const bool mergeable = first.type == ConvKernelType::kForward;
   check_param(mergeable || members.size() == 1,
               "only forward batches may have multiple members");

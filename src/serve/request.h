@@ -28,8 +28,9 @@ namespace ucudnn::serve {
 using Clock = std::chrono::steady_clock;
 
 /// One inference request. `problem.batch()` is this request's sample count;
-/// requests whose problems differ ONLY in batch are coalescible when their
-/// kernel type, operand scaling, and weights pointer also match.
+/// forward requests whose problems differ ONLY in batch are coalescible when
+/// their operand scaling and weights pointer also match. Backward requests
+/// never coalesce — they always execute as singleton batches.
 struct ServeRequest {
   ConvKernelType type = ConvKernelType::kForward;
   kernels::ConvProblem problem;
@@ -131,11 +132,14 @@ class Ticket {
 
 using TicketPtr = std::shared_ptr<Ticket>;
 
-/// Requests coalesce when everything but the batch dimension matches: the
-/// merged mini-batch is mathematically the concatenation of the members.
+/// Requests coalesce when both are forward and everything but the batch
+/// dimension matches: the merged mini-batch is mathematically the
+/// concatenation of the members. Backward types are excluded outright —
+/// concatenation is not valid for them (filter gradients sum over the
+/// batch), and Batcher::build refuses multi-member non-forward batches.
 inline bool coalescible(const ServeRequest& a, const ServeRequest& b) {
-  return a.type == b.type && a.weights == b.weights && a.alpha == b.alpha &&
-         a.beta == b.beta &&
+  return a.type == ConvKernelType::kForward && b.type == a.type &&
+         a.weights == b.weights && a.alpha == b.alpha && a.beta == b.beta &&
          a.problem.with_batch(1) == b.problem.with_batch(1);
 }
 

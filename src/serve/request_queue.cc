@@ -148,24 +148,32 @@ std::vector<TicketPtr> RequestQueue::next_batch(
 
   // Hold the batch open for stragglers — but never past the point where the
   // tightest member deadline (minus the service-time estimate) is at risk,
-  // and never once the queue starts draining.
+  // and never once the queue starts draining. Members collected during the
+  // wait tighten the window too: a late joiner with a tight deadline must
+  // not be held past its own latest viable start.
   Clock::time_point window_end =
       Clock::now() + std::chrono::microseconds(window_us);
-  for (const TicketPtr& member : batch) {
-    if (member->deadline() != Clock::time_point::max()) {
-      const Clock::time_point latest_start =
-          member->deadline() -
-          std::chrono::duration_cast<Clock::duration>(
-              std::chrono::duration<double, std::milli>(est_service_ms));
-      window_end = std::min(window_end, latest_start);
+  std::size_t tightened = 0;
+  const auto tighten_window = [&] {
+    for (; tightened < batch.size(); ++tightened) {
+      const TicketPtr& member = batch[tightened];
+      if (member->deadline() != Clock::time_point::max()) {
+        const Clock::time_point latest_start =
+            member->deadline() -
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double, std::milli>(est_service_ms));
+        window_end = std::min(window_end, latest_start);
+      }
     }
-  }
+  };
+  tighten_window();
   while (total < max_batch && !draining_) {
     const auto left = std::chrono::duration_cast<std::chrono::microseconds>(
         window_end - Clock::now());
     if (left.count() <= 0) break;
     cv_.wait_for_us(mutex_, left.count());
     collect_locked(seed, max_batch, &total, &batch, expired, Clock::now());
+    tighten_window();
   }
   return batch;
 }

@@ -45,7 +45,8 @@ struct ServeOptions {
   /// ladder, which handles per-segment kernel failures).
   int max_retries = 3;
   /// Exponential backoff base between serve-level retries:
-  /// backoff_us * 2^attempt.
+  /// backoff_us * 2^attempt, saturating at 1 s per sleep (max_retries is
+  /// unbounded, so the doubling must not overflow).
   std::int64_t retry_backoff_us = 50;
   /// Overload ladder rung 1: queue depth fraction beyond which the batch
   /// window collapses to 0 (stop waiting for stragglers).

@@ -17,6 +17,34 @@ Clock::duration ms_to_duration(double ms) {
       std::chrono::duration<double, std::milli>(ms));
 }
 
+/// Ceiling on the exponential retry backoff. max_retries and the backoff
+/// base are user-configurable with no upper bound, so 2^attempt scaling
+/// must saturate here instead of overflowing.
+constexpr std::int64_t kMaxRetryBackoffUs = 1'000'000;
+
+std::int64_t retry_backoff_us(std::int64_t base_us, int attempt) {
+  std::int64_t backoff = base_us;
+  for (int i = 0; i < attempt && backoff < kMaxRetryBackoffUs; ++i) {
+    backoff *= 2;
+  }
+  return std::min(backoff, kMaxRetryBackoffUs);
+}
+
+/// Element count of the buffer a request's `output` points at; depends on
+/// the kernel type (forward writes dY-shaped, backward-data dX-shaped,
+/// backward-filter dW-shaped data).
+std::int64_t output_elems(const ServeRequest& req) {
+  switch (req.type) {
+    case ConvKernelType::kBackwardData:
+      return req.problem.x.count();
+    case ConvKernelType::kBackwardFilter:
+      return req.problem.w.count();
+    case ConvKernelType::kForward:
+      break;
+  }
+  return req.problem.y.count();
+}
+
 }  // namespace
 
 Server::Server(core::UcudnnHandle& handle, ServeOptions opts)
@@ -189,10 +217,13 @@ void Server::execute_once(const std::vector<TicketPtr>& batch) {
       return merged.problem.to_string() + " total=" +
              std::to_string(merged.total);
     });
-    if (injector.armed()) injector.fail_point(exec_site_);
     MutexLock lock(exec_mutex_);
     handle_.convolution(merged.type, merged.problem, merged.alpha, merged.a,
                         merged.b, merged.beta, merged.out);
+    // After the convolution so an injected failure models the worst case: a
+    // transient fault whose attempt already wrote into the output buffer —
+    // exactly what the retry ladder's beta-snapshot must survive.
+    if (injector.armed()) injector.fail_point(exec_site_);
   }
   batcher_.scatter(merged, batch);
 }
@@ -215,6 +246,20 @@ void Server::process_batch(std::vector<TicketPtr>& batch) {
   }
   m_occupancy_.observe_ms(static_cast<double>(samples));
 
+  // A singleton batch may execute directly into the client's output buffer
+  // (no staging); with beta != 0 a failed attempt can leave it partially
+  // accumulated, and a retry re-reading it would apply beta twice. Snapshot
+  // it up front and restore before every retry. Staged batches need nothing:
+  // they re-stage from the untouched client buffers on each attempt.
+  std::vector<float> output_snapshot;
+  float* snapshot_dst = nullptr;
+  if (opts_.max_retries > 0 && batch.size() == 1 &&
+      batch.front()->request().beta != 0.0f) {
+    const ServeRequest& req = batch.front()->request();
+    snapshot_dst = req.output;
+    output_snapshot.assign(req.output, req.output + output_elems(req));
+  }
+
   Status failure = Status::kSuccess;
   for (int attempt = 0;; ++attempt) {
     try {
@@ -235,8 +280,12 @@ void Server::process_batch(std::vector<TicketPtr>& batch) {
         m_retried_.add();
         UCUDNN_LOG_WARN << "serve: transient batch failure (attempt "
                         << attempt + 1 << "): " << e.what();
-        std::this_thread::sleep_for(
-            std::chrono::microseconds(opts_.retry_backoff_us << attempt));
+        if (snapshot_dst != nullptr) {
+          std::copy(output_snapshot.begin(), output_snapshot.end(),
+                    snapshot_dst);
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            retry_backoff_us(opts_.retry_backoff_us, attempt)));
         continue;
       }
       UCUDNN_LOG_ERROR << "serve: batch failed terminally: " << e.what();

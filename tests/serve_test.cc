@@ -7,6 +7,7 @@
 // kShuttingDown.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <memory>
@@ -237,6 +238,38 @@ TEST_F(ServeTest, ShedExpiredMaintenanceHook) {
   server.drain();
 }
 
+TEST_F(ServeTest, LateStragglerTightensBatchWindow) {
+  // Regression: next_batch computed the deadline-capped window end only from
+  // the members present at seed time, so a straggler joining during the wait
+  // with a tight deadline was held for the full batch window — past its
+  // latest viable start. Late joiners must tighten the window too.
+  RequestQueue queue(workerless(8));
+  const AlignedBuffer<float> weights = make_weights();
+
+  Client seed_client(1, 950, weights);
+  auto seed = std::make_shared<Ticket>(seed_client.request());  // no deadline
+  ASSERT_EQ(queue.try_enqueue(seed, 0.0).status, Status::kSuccess);
+
+  Client late_client(1, 951, weights);
+  auto late = std::make_shared<Ticket>(late_client.request());
+  late->set_deadline(late->submitted() + std::chrono::milliseconds(100));
+  std::thread submitter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queue.try_enqueue(late, 0.0);
+  });
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<TicketPtr> stale;
+  const std::vector<TicketPtr> batch =
+      queue.next_batch(/*window_us=*/10'000'000, /*max_batch=*/64,
+                       /*est_service_ms=*/0.0, &stale);
+  submitter.join();
+  ASSERT_EQ(batch.size(), 2u);
+  // Returned around the straggler's deadline-capped latest start, not the
+  // 10 s window the seed alone would have allowed.
+  EXPECT_LT(std::chrono::steady_clock::now() - start, std::chrono::seconds(5));
+}
+
 TEST_F(ServeTest, UnmeetableDeadlineRejectedAtAdmission) {
   core::UcudnnHandle handle(cpu(), core_opts());
   ServeOptions opts;
@@ -343,6 +376,62 @@ TEST_F(ServeTest, CoalescesConcurrentSameShapeRequests) {
   EXPECT_LE(c.batches, 2u);
 }
 
+TEST_F(ServeTest, ConcurrentBackwardRequestsRunAsSingletons) {
+  // Regression: coalescible() used to accept same-shape backward pairs, so
+  // the queue merged two concurrent backward requests into one batch that
+  // Batcher::build then refused with kBadParam — valid requests spuriously
+  // failed. Backward requests must never coalesce, and must still succeed
+  // (as singleton batches) when submitted concurrently.
+  core::UcudnnHandle handle(cpu(), core_opts());
+  ServeOptions opts;
+  opts.workers = 1;
+  opts.batch_window_us = 50'000;  // wide open: a coalescible pair WOULD merge
+  Server server(handle, opts);
+  const AlignedBuffer<float> weights = make_weights();
+
+  const kernels::ConvProblem problem = sample_problem(2);
+  struct BwdClient {
+    BwdClient(const kernels::ConvProblem& p, std::uint64_t seed)
+        : dy(static_cast<std::size_t>(p.y.count())),
+          dx(static_cast<std::size_t>(p.x.count()), true) {
+      fill_random(dy.data(), p.y.count(), seed);
+    }
+    AlignedBuffer<float> dy;
+    AlignedBuffer<float> dx;
+  };
+  BwdClient c1(problem, 940), c2(problem, 941);
+  auto request_of = [&](BwdClient& c) {
+    ServeRequest req;
+    req.type = ConvKernelType::kBackwardData;
+    req.problem = problem;
+    req.input = c.dy.data();
+    req.weights = weights.data();
+    req.output = c.dx.data();
+    return req;
+  };
+  EXPECT_FALSE(serve::coalescible(request_of(c1), request_of(c2)));
+
+  TicketPtr t1 = server.submit(request_of(c1));
+  TicketPtr t2 = server.submit(request_of(c2));
+  EXPECT_EQ(t1->wait(), Status::kSuccess);
+  EXPECT_EQ(t2->wait(), Status::kSuccess);
+
+  const Server::Counters counters = server.counters();
+  EXPECT_EQ(counters.completed, 2u);
+  EXPECT_EQ(counters.batches, 2u);  // singletons: never merged
+
+  core::UcudnnHandle reference(cpu(), core_opts());
+  for (BwdClient* c : {&c1, &c2}) {
+    AlignedBuffer<float> expected(static_cast<std::size_t>(problem.x.count()),
+                                  true);
+    reference.convolution(ConvKernelType::kBackwardData, problem, 1.0f,
+                          c->dy.data(), weights.data(), 0.0f,
+                          expected.data());
+    EXPECT_LT(max_rel_diff(c->dx.data(), expected.data(), problem.x.count()),
+              1e-3);
+  }
+}
+
 // --- drain ----------------------------------------------------------------
 
 TEST_F(ServeTest, DrainFlushesInFlightBatch) {
@@ -418,6 +507,48 @@ TEST_F(ServeTest, TransientExecFaultIsRetriedToSuccess) {
   EXPECT_EQ(t2->wait(), Status::kSuccess);
   EXPECT_GE(server.counters().retried, 1u);
   EXPECT_EQ(server.counters().exec_failed, 0u);
+}
+
+TEST_F(ServeTest, RetryRestoresBetaAccumulatedOutputBeforeReexecution) {
+  // Regression: an unstaged singleton with beta != 0 executes directly into
+  // the client's output buffer; a transient failure whose attempt already
+  // wrote it used to let the retry re-read the accumulated values and apply
+  // beta twice. The retry ladder must restore the pre-attempt output first.
+  // (The serve.exec fault point sits after the convolution precisely so this
+  // worst case is injectable.)
+  core::UcudnnHandle handle(cpu(), core_opts());
+  ServeOptions opts;
+  opts.workers = 1;
+  opts.pad_to_pow2 = false;  // singleton stays unstaged: the direct path
+  opts.retry_backoff_us = 10;
+  Server server(handle, opts);
+  const AlignedBuffer<float> weights = make_weights();
+
+  // Warm the plan so the injected failure hits steady-state execution.
+  Client warmup(1, 930, weights);
+  EXPECT_EQ(server.submit(warmup.request())->wait(), Status::kSuccess);
+
+  Client client(1, 931, weights);
+  fill_random(client.output.data(), client.problem.y.count(), 932);
+  AlignedBuffer<float> expected(
+      static_cast<std::size_t>(client.problem.y.count()));
+  std::copy(client.output.data(),
+            client.output.data() + client.problem.y.count(), expected.data());
+  core::UcudnnHandle direct(cpu(), core_opts());
+  direct.convolution(ConvKernelType::kForward, client.problem, 1.0f,
+                     client.input.data(), weights.data(), 1.0f,
+                     expected.data());
+
+  // Exactly the first execution attempt fails — after its convolution ran
+  // and accumulated into the client buffer.
+  FaultInjector::instance().configure("serve.exec:every=1,count=1");
+  ServeRequest req = client.request();
+  req.beta = 1.0f;
+  EXPECT_EQ(server.submit(req)->wait(), Status::kSuccess);
+  EXPECT_GE(server.counters().retried, 1u);
+  EXPECT_LT(max_rel_diff(client.output.data(), expected.data(),
+                         client.problem.y.count()),
+            1e-3);
 }
 
 TEST_F(ServeTest, KernelFaultsEngageExecutorBlacklistLadder) {
