@@ -1,6 +1,14 @@
-// Fixed-size thread pool with a blocking parallel_for. Used by the CPU
-// convolution kernels and the SGEMM substrate; sized from UCUDNN_NUM_THREADS
-// (default: hardware concurrency).
+// Fixed-size thread pool with a blocking, work-sharing parallel_for. Used by
+// the CPU convolution kernels and the SGEMM substrate; sized from
+// UCUDNN_NUM_THREADS (default: hardware concurrency; invalid values are
+// rejected with a warning instead of wrapping to a huge worker count).
+//
+// parallel_for chunks are claimed from a shared atomic cursor, so
+//  - the calling thread executes chunks itself instead of blocking idle, and
+//  - nested calls (a parallel_for issued from inside a pool worker) share
+//    their chunks with any idle workers instead of collapsing to a single
+//    inline chunk. The caller of a nested loop can always finish the whole
+//    range alone, so nesting never deadlocks even when every worker is busy.
 #pragma once
 
 #include <cstdint>
@@ -28,9 +36,13 @@ class ThreadPool {
   void submit(std::function<void()> task);
 
   /// Splits [0, count) into contiguous chunks and runs
-  /// `body(begin, end, chunk_index)` on the pool, blocking until all chunks
-  /// complete. Runs inline when count is small or the pool has one thread.
-  /// Exceptions from `body` are rethrown (first one wins).
+  /// `body(begin, end, chunk_index)` until all chunks complete. Chunk indices
+  /// are dense in [0, chunks) with chunks <= num_threads(), and each index
+  /// executes on exactly one thread (workspace scratch indexed by
+  /// chunk_index stays race-free). The calling thread participates: it claims
+  /// and runs chunks alongside the workers, then waits for stragglers. Runs
+  /// inline when count is small or the pool has one thread. Exceptions from
+  /// `body` are rethrown (first one wins); all chunks still execute.
   void parallel_for(
       std::int64_t count,
       const std::function<void(std::int64_t, std::int64_t, std::size_t)>& body,
@@ -39,8 +51,19 @@ class ThreadPool {
   /// Process-wide shared pool.
   static ThreadPool& global();
 
+  /// Resolves the worker count for the global pool from UCUDNN_NUM_THREADS:
+  /// unset -> hardware concurrency; malformed or < 1 -> hardware concurrency
+  /// with a warning; values above kMaxThreads are clamped. Never throws.
+  static std::size_t num_threads_from_env() noexcept;
+
+  /// Upper bound accepted from UCUDNN_NUM_THREADS before clamping.
+  static constexpr std::int64_t kMaxThreads = 1024;
+
  private:
+  struct ForState;
+
   void worker_loop();
+  static void run_chunks(ForState& state);
 
   std::vector<std::thread> workers_;  // written only by the constructor
   Mutex mutex_{"ThreadPool"};

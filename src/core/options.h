@@ -37,6 +37,13 @@
 //                                detection; only in builds compiling the
 //                                detector in (Debug/sanitizer presets; see
 //                                docs/analysis.md)              (unset = off)
+//   UCUDNN_NUM_THREADS           CPU kernel thread-pool size; malformed or
+//                                non-positive values warn and fall back to
+//                                hardware concurrency, values above 1024 are
+//                                clamped (docs/kernels.md)    (cores)
+//   UCUDNN_SIMD                  0 = force the portable scalar kernel paths
+//                                instead of runtime AVX2/NEON dispatch
+//                                (docs/kernels.md)            (auto)
 //   UCUDNN_SERVE_*               serving front-end knobs (workers, queue
 //                                capacity, batch window, deadlines, overload
 //                                watermarks) — read by serve::ServeOptions,
@@ -46,7 +53,9 @@
 // The telemetry variables are read by the src/telemetry leaf directly (not
 // through Options): telemetry must stay includable from every layer without
 // creating a cycle back into core. The UCUDNN_SERVE_* family likewise lives
-// in the serve layer, which sits on top of this facade.
+// in the serve layer, which sits on top of this facade, and the kernel
+// substrate knobs (UCUDNN_NUM_THREADS, UCUDNN_SIMD) are read by src/common
+// for the same layering reason.
 #pragma once
 
 #include <cstdint>

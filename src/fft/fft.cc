@@ -1,17 +1,28 @@
 #include "fft/fft.h"
 
 #include <cmath>
+#include <cstddef>
+#include <memory>
 #include <numbers>
+#include <unordered_map>
 #include <vector>
 
 #include "common/mathutil.h"
+#include "common/simd.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
+#include "common/thread_pool.h"
 
 namespace ucudnn::fft {
 
 namespace {
 
 constexpr double kPi = std::numbers::pi;
+
+inline float* as_floats(Complex* p) { return reinterpret_cast<float*>(p); }
+inline const float* as_floats(const Complex* p) {
+  return reinterpret_cast<const float*>(p);
+}
 
 // Bit-reversal permutation for the iterative radix-2 kernel.
 void bit_reverse(Complex* data, std::size_t n) {
@@ -24,39 +35,110 @@ void bit_reverse(Complex* data, std::size_t n) {
   }
 }
 
-// Bluestein chirp-z transform: expresses an arbitrary-length DFT as a
-// power-of-two circular convolution.
-void fft_bluestein(Complex* data, std::size_t n, bool inverse) {
-  const std::size_t m = next_pow2(2 * n + 1);
-  const double sign = inverse ? 1.0 : -1.0;
+// Forward twiddles for every stage of a length-n transform, concatenated:
+// stage `len` contributes len/2 entries w^j = exp(-2*pi*i*j/len) starting at
+// offset len/2 - 1. Contiguous per-stage tables keep the butterfly k-loop
+// SIMD-friendly (the old code advanced w by one multiply per butterfly, which
+// serializes the loop and accumulates rounding error).
+std::shared_ptr<const std::vector<Complex>> twiddle_table(std::size_t n) {
+  struct Cache {
+    Mutex mutex{"fft.twiddles"};
+    std::unordered_map<std::size_t,
+                       std::shared_ptr<const std::vector<Complex>>>
+        tables GUARDED_BY(mutex);
+  };
+  static Cache& cache = *new Cache;
+  {
+    MutexLock lock(cache.mutex);
+    auto it = cache.tables.find(n);
+    if (it != cache.tables.end()) return it->second;
+  }
+  auto table = std::make_shared<std::vector<Complex>>();
+  table->reserve(n - 1);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = -2.0 * kPi / static_cast<double>(len);
+    for (std::size_t j = 0; j < len / 2; ++j) {
+      const double a = angle * static_cast<double>(j);
+      table->emplace_back(static_cast<float>(std::cos(a)),
+                          static_cast<float>(std::sin(a)));
+    }
+  }
+  MutexLock lock(cache.mutex);
+  return cache.tables.try_emplace(n, std::move(table)).first->second;
+}
 
-  // Chirp w[k] = exp(sign * i * pi * k^2 / n).
-  std::vector<Complex> chirp(n);
+// Bluestein chirp-z transform: expresses an arbitrary-length DFT as a
+// power-of-two circular convolution. The chirp and the FFT of the b sequence
+// depend only on (n, direction), so they are computed once and cached.
+struct BluesteinPlan {
+  std::size_t m = 0;
+  std::vector<Complex> chirp;  // n entries
+  std::vector<Complex> b_fft;  // m entries: forward FFT of the b sequence
+};
+
+std::shared_ptr<const BluesteinPlan> bluestein_plan(std::size_t n,
+                                                    bool inverse) {
+  struct Cache {
+    Mutex mutex{"fft.bluestein"};
+    std::unordered_map<std::size_t, std::shared_ptr<const BluesteinPlan>>
+        plans GUARDED_BY(mutex);
+  };
+  static Cache& cache = *new Cache;
+  const std::size_t key = 2 * n + (inverse ? 1 : 0);
+  {
+    MutexLock lock(cache.mutex);
+    auto it = cache.plans.find(key);
+    if (it != cache.plans.end()) return it->second;
+  }
+
+  auto plan = std::make_shared<BluesteinPlan>();
+  plan->m = next_pow2(2 * n + 1);
+  const double sign = inverse ? 1.0 : -1.0;
+  plan->chirp.resize(n);
   for (std::size_t k = 0; k < n; ++k) {
     // k^2 mod 2n keeps the angle argument small for large k.
     const std::size_t k2 = (static_cast<unsigned long long>(k) * k) % (2 * n);
     const double angle = sign * kPi * static_cast<double>(k2) / n;
-    chirp[k] = Complex(static_cast<float>(std::cos(angle)),
-                       static_cast<float>(std::sin(angle)));
+    plan->chirp[k] = Complex(static_cast<float>(std::cos(angle)),
+                             static_cast<float>(std::sin(angle)));
   }
+  std::vector<Complex> b(plan->m, Complex(0, 0));
+  b[0] = std::conj(plan->chirp[0]);
+  for (std::size_t k = 1; k < n; ++k) {
+    b[k] = b[plan->m - k] = std::conj(plan->chirp[k]);
+  }
+  fft_pow2(b.data(), plan->m, false);
+  plan->b_fft = std::move(b);
+
+  MutexLock lock(cache.mutex);
+  return cache.plans.try_emplace(key, std::move(plan)).first->second;
+}
+
+void fft_bluestein(Complex* data, std::size_t n, bool inverse) {
+  const auto plan = bluestein_plan(n, inverse);
+  const std::size_t m = plan->m;
+  const Complex* chirp = plan->chirp.data();
 
   std::vector<Complex> a(m, Complex(0, 0));
-  std::vector<Complex> b(m, Complex(0, 0));
-  for (std::size_t k = 0; k < n; ++k) a[k] = data[k] * chirp[k];
-  b[0] = std::conj(chirp[0]);
-  for (std::size_t k = 1; k < n; ++k) {
-    b[k] = b[m - k] = std::conj(chirp[k]);
-  }
-
-  fft_pow2(a.data(), m, false);
-  fft_pow2(b.data(), m, false);
-  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
-  fft_pow2(a.data(), m, true);
-
   for (std::size_t k = 0; k < n; ++k) {
-    Complex value = a[k] * chirp[k];
-    if (inverse) value /= static_cast<float>(n);
-    data[k] = value;
+    const float dr = data[k].real(), di = data[k].imag();
+    const float cr = chirp[k].real(), ci = chirp[k].imag();
+    a[k] = Complex(dr * cr - di * ci, dr * ci + di * cr);
+  }
+  fft_pow2(a.data(), m, false);
+
+  std::vector<Complex> prod(m, Complex(0, 0));
+  simd::cmul_acc(as_floats(prod.data()), as_floats(a.data()),
+                 as_floats(plan->b_fft.data()),
+                 static_cast<std::int64_t>(m));
+  fft_pow2(prod.data(), m, true);
+
+  const float scale = inverse ? 1.0f / static_cast<float>(n) : 1.0f;
+  for (std::size_t k = 0; k < n; ++k) {
+    const float pr = prod[k].real(), pi = prod[k].imag();
+    const float cr = chirp[k].real(), ci = chirp[k].imag();
+    data[k] = Complex(scale * (pr * cr - pi * ci),
+                      scale * (pr * ci + pi * cr));
   }
 }
 
@@ -65,25 +147,14 @@ void fft_bluestein(Complex* data, std::size_t n, bool inverse) {
 void fft_pow2(Complex* data, std::size_t n, bool inverse) {
   check_param(is_pow2(n), "fft_pow2 requires a power-of-two length");
   if (n == 1) return;
+  const auto table = twiddle_table(n);
   bit_reverse(data, n);
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double angle = (inverse ? 2.0 : -2.0) * kPi / static_cast<double>(len);
-    const Complex wlen(static_cast<float>(std::cos(angle)),
-                       static_cast<float>(std::sin(angle)));
-    for (std::size_t i = 0; i < n; i += len) {
-      Complex w(1, 0);
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const Complex u = data[i + k];
-        const Complex v = data[i + k + len / 2] * w;
-        data[i + k] = u + v;
-        data[i + k + len / 2] = u - v;
-        w *= wlen;
-      }
-    }
-  }
+  simd::fft_stages(as_floats(data), static_cast<std::int64_t>(n),
+                   as_floats(table->data()), inverse);
   if (inverse) {
     const float scale = 1.0f / static_cast<float>(n);
-    for (std::size_t i = 0; i < n; ++i) data[i] *= scale;
+    float* d = as_floats(data);
+    for (std::size_t i = 0; i < 2 * n; ++i) d[i] *= scale;
   }
 }
 
@@ -97,25 +168,66 @@ void fft(Complex* data, std::size_t n, bool inverse) {
 }
 
 void fft2d(Complex* data, std::size_t rows, std::size_t cols, bool inverse) {
-  for (std::size_t r = 0; r < rows; ++r) {
-    fft(data + r * cols, cols, inverse);
+  // Parallelize the independent 1-D transforms only when the matrix is large
+  // enough to amortize chunk dispatch; nested calls (fft2d under an outer
+  // parallel_for) share chunks with idle workers instead of serializing.
+  const bool parallel = rows >= 4 && rows * cols >= 16384;
+  const std::int64_t row_chunk = static_cast<std::int64_t>(
+      std::max<std::size_t>(1, 4096 / std::max<std::size_t>(1, cols)));
+  if (parallel) {
+    parallel_for_each(
+        static_cast<std::int64_t>(rows),
+        [&](std::int64_t r) { fft(data + r * cols, cols, inverse); },
+        row_chunk);
+  } else {
+    for (std::size_t r = 0; r < rows; ++r) {
+      fft(data + r * cols, cols, inverse);
+    }
   }
-  std::vector<Complex> column(rows);
+
+  // Column pass via transpose: the 1-D kernels then run on contiguous data
+  // instead of strided columns copied one at a time. The transpose buffer is
+  // per-thread and reused across calls — FFT convolution transforms
+  // thousands of identically-sized planes per layer, and a fresh allocation
+  // per plane dominated the small transforms. fft() never re-enters fft2d,
+  // so the buffer cannot be aliased by the nested row/column loops.
+  static thread_local std::vector<Complex> scratch_tls;
+  if (scratch_tls.size() < rows * cols) scratch_tls.resize(rows * cols);
+  std::vector<Complex>& scratch = scratch_tls;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      scratch[c * rows + r] = data[r * cols + c];
+    }
+  }
+  const std::int64_t col_chunk = static_cast<std::int64_t>(
+      std::max<std::size_t>(1, 4096 / std::max<std::size_t>(1, rows)));
+  if (parallel) {
+    parallel_for_each(
+        static_cast<std::int64_t>(cols),
+        [&](std::int64_t c) { fft(scratch.data() + c * rows, rows, inverse); },
+        col_chunk);
+  } else {
+    for (std::size_t c = 0; c < cols; ++c) {
+      fft(scratch.data() + c * rows, rows, inverse);
+    }
+  }
   for (std::size_t c = 0; c < cols; ++c) {
-    for (std::size_t r = 0; r < rows; ++r) column[r] = data[r * cols + c];
-    fft(column.data(), rows, inverse);
-    for (std::size_t r = 0; r < rows; ++r) data[r * cols + c] = column[r];
+    for (std::size_t r = 0; r < rows; ++r) {
+      data[r * cols + c] = scratch[c * rows + r];
+    }
   }
 }
 
 void multiply_accumulate(const Complex* a, const Complex* b, Complex* y,
                          std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) y[i] += a[i] * b[i];
+  simd::cmul_acc(as_floats(y), as_floats(a), as_floats(b),
+                 static_cast<std::int64_t>(n));
 }
 
 void multiply_conj_accumulate(const Complex* a, const Complex* b, Complex* y,
                               std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) y[i] += a[i] * std::conj(b[i]);
+  simd::cmul_conj_acc(as_floats(y), as_floats(a), as_floats(b),
+                      static_cast<std::int64_t>(n));
 }
 
 }  // namespace ucudnn::fft

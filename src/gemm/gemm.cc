@@ -1,9 +1,20 @@
 #include "gemm/gemm.h"
 
 #include <algorithm>
+#include <cstring>
 #include <vector>
 
+#include "common/mathutil.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define UCUDNN_GEMM_X86 1
+#include <immintrin.h>
+#elif defined(__aarch64__) || defined(__ARM_NEON)
+#define UCUDNN_GEMM_NEON 1
+#include <arm_neon.h>
+#endif
 
 namespace ucudnn::gemm {
 
@@ -19,59 +30,221 @@ inline float load_b(Trans t, const float* b, std::int64_t ldb, std::int64_t p,
   return t == Trans::kNo ? b[p * ldb + j] : b[j * ldb + p];
 }
 
-// Blocking parameters tuned for L1/L2-resident panels of floats.
-constexpr std::int64_t kBlockM = 64;
-constexpr std::int64_t kBlockN = 256;
-constexpr std::int64_t kBlockK = 256;
+// BLIS-style blocking. The micro-kernel computes a kMR x kNR tile of C with
+// the full register file: on AVX2, 6 rows x 2 ymm columns = 12 accumulator
+// registers plus two B loads and one A broadcast.
+constexpr std::int64_t kMR = 6;
+constexpr std::int64_t kNR = 16;
+// Cache blocks: the packed A panel (kMC x kKC floats, 96 KiB) targets L2, the
+// packed B panel streams through in kKC x kNR strips that fit L1.
+constexpr std::int64_t kMC = 96;   // multiple of kMR
+constexpr std::int64_t kKC = 256;
+constexpr std::int64_t kNC = 512;  // multiple of kNR
 
-// Computes one M-block of C. Packs the A block so the inner loops stream
-// contiguously regardless of the requested transposes.
-void gemm_block_row(Trans trans_a, Trans trans_b, std::int64_t i0,
-                    std::int64_t i1, std::int64_t n, std::int64_t k,
-                    float alpha, const float* a, std::int64_t lda,
-                    const float* b, std::int64_t ldb, float beta, float* c,
-                    std::int64_t ldc) {
-  std::vector<float> a_pack(static_cast<std::size_t>(kBlockM * kBlockK));
+// Packed layouts: A strips hold kMR rows interleaved per k step
+// (ap[p * kMR + i]), B strips hold kNR columns per k step (bp[p * kNR + j]).
+// Edges are zero-padded to full strips so the micro-kernel never branches.
 
-  // beta-scale the C rows once up front.
-  for (std::int64_t i = i0; i < i1; ++i) {
-    float* c_row = c + i * ldc;
-    if (beta == 0.0f) {
-      std::fill(c_row, c_row + n, 0.0f);
-    } else if (beta != 1.0f) {
-      for (std::int64_t j = 0; j < n; ++j) c_row[j] *= beta;
+void micro_kernel_scalar(std::int64_t pb, const float* ap, const float* bp,
+                         float* c, std::int64_t ldc) {
+  float acc[kMR][kNR];
+  for (std::int64_t i = 0; i < kMR; ++i) {
+    for (std::int64_t j = 0; j < kNR; ++j) acc[i][j] = c[i * ldc + j];
+  }
+  for (std::int64_t p = 0; p < pb; ++p) {
+    const float* a_p = ap + p * kMR;
+    const float* b_p = bp + p * kNR;
+    for (std::int64_t i = 0; i < kMR; ++i) {
+      const float av = a_p[i];
+      for (std::int64_t j = 0; j < kNR; ++j) acc[i][j] += av * b_p[j];
     }
   }
+  for (std::int64_t i = 0; i < kMR; ++i) {
+    for (std::int64_t j = 0; j < kNR; ++j) c[i * ldc + j] = acc[i][j];
+  }
+}
 
-  for (std::int64_t p0 = 0; p0 < k; p0 += kBlockK) {
-    const std::int64_t pb = std::min(kBlockK, k - p0);
-    for (std::int64_t ii0 = i0; ii0 < i1; ii0 += kBlockM) {
-      const std::int64_t ib = std::min(kBlockM, i1 - ii0);
-      // Pack op(A)[ii0:ii0+ib, p0:p0+pb] row-major into a_pack.
-      for (std::int64_t i = 0; i < ib; ++i) {
-        for (std::int64_t p = 0; p < pb; ++p) {
-          a_pack[static_cast<std::size_t>(i * pb + p)] =
-              load_a(trans_a, a, lda, ii0 + i, p0 + p);
+#if defined(UCUDNN_GEMM_X86)
+
+__attribute__((target("avx2,fma"))) void micro_kernel_avx2(
+    std::int64_t pb, const float* ap, const float* bp, float* c,
+    std::int64_t ldc) {
+  __m256 acc00 = _mm256_loadu_ps(c + 0 * ldc);
+  __m256 acc01 = _mm256_loadu_ps(c + 0 * ldc + 8);
+  __m256 acc10 = _mm256_loadu_ps(c + 1 * ldc);
+  __m256 acc11 = _mm256_loadu_ps(c + 1 * ldc + 8);
+  __m256 acc20 = _mm256_loadu_ps(c + 2 * ldc);
+  __m256 acc21 = _mm256_loadu_ps(c + 2 * ldc + 8);
+  __m256 acc30 = _mm256_loadu_ps(c + 3 * ldc);
+  __m256 acc31 = _mm256_loadu_ps(c + 3 * ldc + 8);
+  __m256 acc40 = _mm256_loadu_ps(c + 4 * ldc);
+  __m256 acc41 = _mm256_loadu_ps(c + 4 * ldc + 8);
+  __m256 acc50 = _mm256_loadu_ps(c + 5 * ldc);
+  __m256 acc51 = _mm256_loadu_ps(c + 5 * ldc + 8);
+  for (std::int64_t p = 0; p < pb; ++p) {
+    const float* a_p = ap + p * kMR;
+    const float* b_p = bp + p * kNR;
+    const __m256 b0 = _mm256_loadu_ps(b_p);
+    const __m256 b1 = _mm256_loadu_ps(b_p + 8);
+    __m256 av = _mm256_broadcast_ss(a_p + 0);
+    acc00 = _mm256_fmadd_ps(av, b0, acc00);
+    acc01 = _mm256_fmadd_ps(av, b1, acc01);
+    av = _mm256_broadcast_ss(a_p + 1);
+    acc10 = _mm256_fmadd_ps(av, b0, acc10);
+    acc11 = _mm256_fmadd_ps(av, b1, acc11);
+    av = _mm256_broadcast_ss(a_p + 2);
+    acc20 = _mm256_fmadd_ps(av, b0, acc20);
+    acc21 = _mm256_fmadd_ps(av, b1, acc21);
+    av = _mm256_broadcast_ss(a_p + 3);
+    acc30 = _mm256_fmadd_ps(av, b0, acc30);
+    acc31 = _mm256_fmadd_ps(av, b1, acc31);
+    av = _mm256_broadcast_ss(a_p + 4);
+    acc40 = _mm256_fmadd_ps(av, b0, acc40);
+    acc41 = _mm256_fmadd_ps(av, b1, acc41);
+    av = _mm256_broadcast_ss(a_p + 5);
+    acc50 = _mm256_fmadd_ps(av, b0, acc50);
+    acc51 = _mm256_fmadd_ps(av, b1, acc51);
+  }
+  _mm256_storeu_ps(c + 0 * ldc, acc00);
+  _mm256_storeu_ps(c + 0 * ldc + 8, acc01);
+  _mm256_storeu_ps(c + 1 * ldc, acc10);
+  _mm256_storeu_ps(c + 1 * ldc + 8, acc11);
+  _mm256_storeu_ps(c + 2 * ldc, acc20);
+  _mm256_storeu_ps(c + 2 * ldc + 8, acc21);
+  _mm256_storeu_ps(c + 3 * ldc, acc30);
+  _mm256_storeu_ps(c + 3 * ldc + 8, acc31);
+  _mm256_storeu_ps(c + 4 * ldc, acc40);
+  _mm256_storeu_ps(c + 4 * ldc + 8, acc41);
+  _mm256_storeu_ps(c + 5 * ldc, acc50);
+  _mm256_storeu_ps(c + 5 * ldc + 8, acc51);
+}
+
+#elif defined(UCUDNN_GEMM_NEON)
+
+void micro_kernel_neon(std::int64_t pb, const float* ap, const float* bp,
+                       float* c, std::int64_t ldc) {
+  float32x4_t acc[kMR][4];
+  for (std::int64_t i = 0; i < kMR; ++i) {
+    for (int q = 0; q < 4; ++q) acc[i][q] = vld1q_f32(c + i * ldc + 4 * q);
+  }
+  for (std::int64_t p = 0; p < pb; ++p) {
+    const float* a_p = ap + p * kMR;
+    const float* b_p = bp + p * kNR;
+    float32x4_t b[4];
+    for (int q = 0; q < 4; ++q) b[q] = vld1q_f32(b_p + 4 * q);
+    for (std::int64_t i = 0; i < kMR; ++i) {
+      const float32x4_t av = vdupq_n_f32(a_p[i]);
+      for (int q = 0; q < 4; ++q) acc[i][q] = vfmaq_f32(acc[i][q], av, b[q]);
+    }
+  }
+  for (std::int64_t i = 0; i < kMR; ++i) {
+    for (int q = 0; q < 4; ++q) vst1q_f32(c + i * ldc + 4 * q, acc[i][q]);
+  }
+}
+
+#endif
+
+inline void run_micro_kernel(bool vectorized, std::int64_t pb, const float* ap,
+                             const float* bp, float* c, std::int64_t ldc) {
+#if defined(UCUDNN_GEMM_X86)
+  if (vectorized) return micro_kernel_avx2(pb, ap, bp, c, ldc);
+#elif defined(UCUDNN_GEMM_NEON)
+  if (vectorized) return micro_kernel_neon(pb, ap, bp, c, ldc);
+#else
+  (void)vectorized;
+#endif
+  micro_kernel_scalar(pb, ap, bp, c, ldc);
+}
+
+void scale_rows(float* c, std::int64_t ldc, std::int64_t rows,
+                std::int64_t cols, float beta) {
+  if (beta == 1.0f) return;
+  for (std::int64_t i = 0; i < rows; ++i) {
+    float* c_row = c + i * ldc;
+    if (beta == 0.0f) {
+      std::fill(c_row, c_row + cols, 0.0f);
+    } else {
+      for (std::int64_t j = 0; j < cols; ++j) c_row[j] *= beta;
+    }
+  }
+}
+
+// Computes C[i0:i1, j0:j1] = alpha * op(A) * op(B) + beta * C over the full k
+// range. Each caller (one parallel_for chunk) owns a disjoint C rectangle, so
+// ranges never race; packing buffers are chunk-local. alpha is folded into the
+// packed A panel, beta is applied to the rectangle once up front.
+void gemm_range(Trans trans_a, Trans trans_b, std::int64_t i0, std::int64_t i1,
+                std::int64_t j0, std::int64_t j1, std::int64_t k, float alpha,
+                const float* a, std::int64_t lda, const float* b,
+                std::int64_t ldb, float beta, float* c, std::int64_t ldc) {
+  scale_rows(c + i0 * ldc + j0, ldc, i1 - i0, j1 - j0, beta);
+
+  const bool vec = simd::vectorized();
+  std::vector<float> a_pack(static_cast<std::size_t>(kMC * kKC));
+  std::vector<float> b_pack(static_cast<std::size_t>(
+      kKC * std::min<std::int64_t>(kNC, round_up(j1 - j0, kNR))));
+  alignas(64) float tile[kMR * kNR];
+
+  for (std::int64_t jj0 = j0; jj0 < j1; jj0 += kNC) {
+    const std::int64_t jb = std::min(kNC, j1 - jj0);
+    const std::int64_t j_strips = ceil_div(jb, kNR);
+    for (std::int64_t p0 = 0; p0 < k; p0 += kKC) {
+      const std::int64_t pb = std::min(kKC, k - p0);
+      // Pack op(B)[p0:p0+pb, jj0:jj0+jb] into kNR-column strips.
+      for (std::int64_t js = 0; js < j_strips; ++js) {
+        float* strip = b_pack.data() + js * pb * kNR;
+        const std::int64_t jw = std::min(kNR, jb - js * kNR);
+        if (trans_b == Trans::kNo && jw == kNR) {
+          for (std::int64_t p = 0; p < pb; ++p) {
+            std::memcpy(strip + p * kNR,
+                        b + (p0 + p) * ldb + jj0 + js * kNR,
+                        kNR * sizeof(float));
+          }
+        } else {
+          for (std::int64_t p = 0; p < pb; ++p) {
+            float* dst = strip + p * kNR;
+            for (std::int64_t j = 0; j < jw; ++j) {
+              dst[j] = load_b(trans_b, b, ldb, p0 + p, jj0 + js * kNR + j);
+            }
+            for (std::int64_t j = jw; j < kNR; ++j) dst[j] = 0.0f;
+          }
         }
       }
-      for (std::int64_t j0 = 0; j0 < n; j0 += kBlockN) {
-        const std::int64_t jb = std::min(kBlockN, n - j0);
-        for (std::int64_t i = 0; i < ib; ++i) {
-          float* c_row = c + (ii0 + i) * ldc + j0;
-          const float* a_row = a_pack.data() + i * pb;
-          if (trans_b == Trans::kNo) {
-            for (std::int64_t p = 0; p < pb; ++p) {
-              const float av = alpha * a_row[p];
-              if (av == 0.0f) continue;
-              const float* b_row = b + (p0 + p) * ldb + j0;
-              for (std::int64_t j = 0; j < jb; ++j) c_row[j] += av * b_row[j];
+      for (std::int64_t ii0 = i0; ii0 < i1; ii0 += kMC) {
+        const std::int64_t ib = std::min(kMC, i1 - ii0);
+        const std::int64_t i_strips = ceil_div(ib, kMR);
+        // Pack alpha * op(A)[ii0:ii0+ib, p0:p0+pb] into kMR-row strips.
+        for (std::int64_t is = 0; is < i_strips; ++is) {
+          float* strip = a_pack.data() + is * pb * kMR;
+          const std::int64_t iw = std::min(kMR, ib - is * kMR);
+          for (std::int64_t p = 0; p < pb; ++p) {
+            float* dst = strip + p * kMR;
+            for (std::int64_t i = 0; i < iw; ++i) {
+              dst[i] =
+                  alpha * load_a(trans_a, a, lda, ii0 + is * kMR + i, p0 + p);
             }
-          } else {
-            for (std::int64_t j = 0; j < jb; ++j) {
-              const float* b_col = b + (j0 + j) * ldb + p0;
-              float acc = 0.0f;
-              for (std::int64_t p = 0; p < pb; ++p) acc += a_row[p] * b_col[p];
-              c_row[j] += alpha * acc;
+            for (std::int64_t i = iw; i < kMR; ++i) dst[i] = 0.0f;
+          }
+        }
+        for (std::int64_t js = 0; js < j_strips; ++js) {
+          const float* bs = b_pack.data() + js * pb * kNR;
+          const std::int64_t jw = std::min(kNR, jb - js * kNR);
+          for (std::int64_t is = 0; is < i_strips; ++is) {
+            const float* as = a_pack.data() + is * pb * kMR;
+            const std::int64_t iw = std::min(kMR, ib - is * kMR);
+            float* c_tile = c + (ii0 + is * kMR) * ldc + jj0 + js * kNR;
+            if (iw == kMR && jw == kNR) {
+              run_micro_kernel(vec, pb, as, bs, c_tile, ldc);
+            } else {
+              // Edge tile: compute into a private full-size tile, then
+              // accumulate only the valid region into C.
+              std::fill(tile, tile + kMR * kNR, 0.0f);
+              run_micro_kernel(vec, pb, as, bs, tile, kNR);
+              for (std::int64_t i = 0; i < iw; ++i) {
+                float* c_row = c_tile + i * ldc;
+                const float* t_row = tile + i * kNR;
+                for (std::int64_t j = 0; j < jw; ++j) c_row[j] += t_row[j];
+              }
             }
           }
         }
@@ -104,24 +277,31 @@ void sgemm(Trans trans_a, Trans trans_b, std::int64_t m, std::int64_t n,
            const float* b, std::int64_t ldb, float beta, float* c,
            std::int64_t ldc) {
   if (m <= 0 || n <= 0) return;
-  if (k <= 0) {
-    for (std::int64_t i = 0; i < m; ++i) {
-      float* c_row = c + i * ldc;
-      if (beta == 0.0f) {
-        std::fill(c_row, c_row + n, 0.0f);
-      } else if (beta != 1.0f) {
-        for (std::int64_t j = 0; j < n; ++j) c_row[j] *= beta;
-      }
-    }
+  if (k <= 0 || alpha == 0.0f) {
+    // Nothing to accumulate: C = beta * C without touching A or B.
+    scale_rows(c, ldc, m, n, beta);
     return;
   }
-  ThreadPool::global().parallel_for(
-      m,
-      [&](std::int64_t i0, std::int64_t i1, std::size_t) {
-        gemm_block_row(trans_a, trans_b, i0, i1, n, k, alpha, a, lda, b, ldb,
-                       beta, c, ldc);
-      },
-      /*min_chunk=*/16);
+  // Split the larger C dimension across threads; each chunk computes a
+  // disjoint rectangle (packing the shared matrix redundantly, which is noise
+  // next to the O(m*n*k) compute).
+  if (n >= m) {
+    ThreadPool::global().parallel_for(
+        n,
+        [&](std::int64_t jb0, std::int64_t jb1, std::size_t) {
+          gemm_range(trans_a, trans_b, 0, m, jb0, jb1, k, alpha, a, lda, b,
+                     ldb, beta, c, ldc);
+        },
+        /*min_chunk=*/64);
+  } else {
+    ThreadPool::global().parallel_for(
+        m,
+        [&](std::int64_t ib0, std::int64_t ib1, std::size_t) {
+          gemm_range(trans_a, trans_b, ib0, ib1, 0, n, k, alpha, a, lda, b,
+                     ldb, beta, c, ldc);
+        },
+        /*min_chunk=*/16);
+  }
 }
 
 void sgemm(Trans trans_a, Trans trans_b, std::int64_t m, std::int64_t n,

@@ -1,6 +1,7 @@
 #include "kernels/gemm_conv.h"
 
 #include <cstdint>
+#include <cstring>
 
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -28,9 +29,8 @@ void gather_dy(const ConvProblem& p, const float* dy, float* stage) {
   const std::int64_t total = p.x.n * plane;
   parallel_for_each(p.x.n, [&](std::int64_t n) {
     for (std::int64_t k = 0; k < p.y.c; ++k) {
-      const float* src = dy + n * image + k * plane;
-      float* dst = stage + k * total + n * plane;
-      for (std::int64_t i = 0; i < plane; ++i) dst[i] = src[i];
+      std::memcpy(stage + k * total + n * plane, dy + n * image + k * plane,
+                  static_cast<std::size_t>(plane) * sizeof(float));
     }
   });
 }

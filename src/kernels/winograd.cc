@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 
+#include "common/simd.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "gemm/gemm.h"
@@ -153,8 +154,10 @@ std::int64_t winograd_tiles(const ConvProblem& p) noexcept {
 
 std::size_t winograd_fwd_workspace(const ConvProblem& p) {
   const std::size_t filters = static_cast<std::size_t>(p.w.k) * p.w.c * 16;
-  const std::size_t scratch =
-      ThreadPool::global().num_threads() * static_cast<std::size_t>(p.w.c) * 16;
+  // Per-chunk scratch: the input-tile transform v[c][16] plus the batched
+  // per-filter accumulators m[k][16] produced by one dot16_acc_batch call.
+  const std::size_t scratch = ThreadPool::global().num_threads() *
+                              static_cast<std::size_t>(p.w.c + p.w.k) * 16;
   return (filters + scratch) * sizeof(float);
 }
 
@@ -174,7 +177,9 @@ void winograd_forward(const ConvProblem& p, const float* x, const float* w,
   ThreadPool::global().parallel_for(
       p.x.n * th * tw,
       [&](std::int64_t begin, std::int64_t end, std::size_t chunk) {
-        float* v = scratch + static_cast<std::int64_t>(chunk) * p.w.c * 16;
+        float* v =
+            scratch + static_cast<std::int64_t>(chunk) * (p.w.c + p.w.k) * 16;
+        float* m_all = v + p.w.c * 16;
         for (std::int64_t idx = begin; idx < end; ++idx) {
           const std::int64_t n = idx / (th * tw);
           const std::int64_t ti = (idx / tw) % th;
@@ -188,16 +193,13 @@ void winograd_forward(const ConvProblem& p, const float* x, const float* w,
                        j0, d);
             transform_input(d, v + c * 16);
           }
+          // All k per-filter reductions for this tile in one dispatched call:
+          // m_all[k][e] = sum_c u[k][c][e] * v[c][e].
+          std::fill(m_all, m_all + p.w.k * 16, 0.0f);
+          simd::dot16_acc_batch(u, v, p.w.c, p.w.k, m_all);
           for (std::int64_t k = 0; k < p.w.k; ++k) {
-            float m[16] = {};
-            const float* u_k = u + k * p.w.c * 16;
-            for (std::int64_t c = 0; c < p.w.c; ++c) {
-              const float* u_kc = u_k + c * 16;
-              const float* v_c = v + c * 16;
-              for (int e = 0; e < 16; ++e) m[e] += u_kc[e] * v_c[e];
-            }
             float out[4];
-            transform_output(m, out);
+            transform_output(m_all + k * 16, out);
             float* y_plane = y + n * image_y + k * p.y.h * p.y.w;
             for (int a = 0; a < 2; ++a) {
               const std::int64_t oh = 2 * ti + a;

@@ -2,9 +2,11 @@
 // aligned buffers, and the thread pool.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <numeric>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -237,6 +239,97 @@ TEST(ThreadPoolTest, MinChunkLimitsSplitGranularity) {
       [&](std::int64_t, std::int64_t, std::size_t) { chunks.fetch_add(1); },
       /*min_chunk=*/100);
   EXPECT_EQ(chunks.load(), 1);
+}
+
+TEST(ThreadPoolTest, CallerThreadExecutesChunks) {
+  // Regression: the caller used to block idle on the completion condvar
+  // while workers ran every chunk. Park all four workers on a gate first —
+  // with no worker free, only caller participation can finish the loop.
+  ThreadPool pool(4);
+  Mutex gate_mutex{"test.gate"};
+  CondVar gate_cv;
+  bool gate_open = false;
+  for (int i = 0; i < 4; ++i) {
+    pool.submit([&] {
+      MutexLock lock(gate_mutex);
+      while (!gate_open) gate_cv.wait(gate_mutex);
+    });
+  }
+
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> chunk_tids(4);
+  pool.parallel_for(
+      100,
+      [&](std::int64_t, std::int64_t, std::size_t chunk) {
+        chunk_tids[chunk] = std::this_thread::get_id();
+      },
+      /*min_chunk=*/25);
+
+  {
+    MutexLock lock(gate_mutex);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+
+  EXPECT_TRUE(std::count(chunk_tids.begin(), chunk_tids.end(), caller) > 0);
+  // With every worker parked the caller must in fact have run all chunks.
+  for (const auto& tid : chunk_tids) EXPECT_EQ(tid, caller);
+}
+
+// Temporarily sets (or unsets, when value == nullptr) an environment
+// variable, restoring the previous state on destruction.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST(ThreadPoolTest, NumThreadsFromEnvRejectsInvalidValues) {
+  const std::size_t fallback = [] {
+    ScopedEnv unset("UCUDNN_NUM_THREADS", nullptr);
+    return ThreadPool::num_threads_from_env();
+  }();
+  EXPECT_GE(fallback, 1u);
+
+  // Regression: a negative value cast straight to std::size_t wrapped to
+  // ~2^64 and the pool constructor tried to spawn that many workers. All
+  // invalid spellings must fall back instead of wrapping or throwing.
+  for (const char* bad : {"0", "-1", "-99999999999999999999", "garbage", "",
+                          "2x", "  "}) {
+    ScopedEnv env("UCUDNN_NUM_THREADS", bad);
+    EXPECT_EQ(ThreadPool::num_threads_from_env(), fallback)
+        << "UCUDNN_NUM_THREADS=" << bad;
+  }
+
+  {
+    ScopedEnv env("UCUDNN_NUM_THREADS", "3");
+    EXPECT_EQ(ThreadPool::num_threads_from_env(), 3u);
+  }
+  {
+    ScopedEnv env("UCUDNN_NUM_THREADS", "1000000");
+    EXPECT_EQ(ThreadPool::num_threads_from_env(),
+              static_cast<std::size_t>(ThreadPool::kMaxThreads));
+  }
 }
 
 }  // namespace

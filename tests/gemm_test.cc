@@ -4,6 +4,7 @@
 // the blocking factors).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -68,6 +69,81 @@ INSTANTIATE_TEST_SUITE_P(
         GemmCase{300, 65, 5, Trans::kNo, Trans::kNo, 1.0f, 0.5f},
         GemmCase{1, 512, 512, Trans::kNo, Trans::kNo, 1.0f, 0.0f},
         GemmCase{512, 1, 512, Trans::kYes, Trans::kNo, 1.0f, 0.0f}));
+
+// Pinned parity tolerance: sgemm_naive accumulates in double while the
+// blocked SIMD path accumulates in float, so results differ by rounding —
+// bounded well below 2e-4 relative for the k ranges exercised here.
+constexpr double kParityTol = 2e-4;
+
+TEST(GemmTest, ParityAtBlockAndChunkEdges) {
+  // Shapes straddling the register tile (6x16), the cache blocks
+  // (MC=96 / KC=256 / NC=512), and the parallel-split min_chunk edges
+  // (64 columns for the N split, 16 rows for the M split) — each +/-1 so
+  // both the full-tile fast path and the masked edge path run.
+  const std::int64_t shapes[][3] = {
+      {6, 16, 1},   {7, 17, 2},    {5, 15, 255},  {6, 16, 257},
+      {95, 63, 33}, {97, 65, 255}, {64, 513, 40}, {17, 511, 7},
+      {129, 16, 96}};
+  const float betas[] = {0.0f, 1.0f, 0.5f};
+  for (const auto& shape : shapes) {
+    const std::int64_t m = shape[0], n = shape[1], k = shape[2];
+    for (const Trans ta : {Trans::kNo, Trans::kYes}) {
+      for (const Trans tb : {Trans::kNo, Trans::kYes}) {
+        for (const float beta : betas) {
+          // Padded leading dimensions: every matrix is a view inside a
+          // wider buffer, so stride handling is exercised everywhere.
+          const std::int64_t lda = (ta == Trans::kNo ? k : m) + 3;
+          const std::int64_t ldb = (tb == Trans::kNo ? n : k) + 5;
+          const std::int64_t ldc = n + 7;
+          const auto a = random_vec(m * k + lda * std::max(m, k), 21);
+          const auto b = random_vec(k * n + ldb * std::max(k, n), 22);
+          auto c_ref = random_vec(m * ldc, 23);
+          auto c_fast = c_ref;
+          gemm::sgemm_naive(ta, tb, m, n, k, 1.25f, a.data(), lda, b.data(),
+                            ldb, beta, c_ref.data(), ldc);
+          gemm::sgemm(ta, tb, m, n, k, 1.25f, a.data(), lda, b.data(), ldb,
+                      beta, c_fast.data(), ldc);
+          double err = 0;
+          for (std::int64_t i = 0; i < m; ++i) {
+            err = std::max(err, max_rel_diff(c_fast.data() + i * ldc,
+                                             c_ref.data() + i * ldc, n));
+          }
+          EXPECT_LT(err, kParityTol)
+              << "m=" << m << " n=" << n << " k=" << k
+              << " ta=" << (ta == Trans::kYes) << " tb=" << (tb == Trans::kYes)
+              << " beta=" << beta;
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmTest, AlphaZeroIsExactBetaScale) {
+  // alpha == 0 must take the beta-scale-only early-out: A and B are never
+  // read (they hold NaNs here) and C is scaled exactly, bit-for-bit equal
+  // to beta * c — no packed-loop rounding.
+  const std::int64_t m = 33, n = 47, k = 129;
+  const std::vector<float> a(static_cast<std::size_t>(m * k),
+                             std::numeric_limits<float>::quiet_NaN());
+  const std::vector<float> b(static_cast<std::size_t>(k * n),
+                             std::numeric_limits<float>::quiet_NaN());
+  const auto c0 = random_vec(m * n, 31);
+
+  auto c = c0;
+  gemm::sgemm(Trans::kNo, Trans::kNo, m, n, k, 0.0f, a.data(), b.data(), 0.5f,
+              c.data());
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_EQ(c[i], 0.5f * c0[i]);
+
+  c = c0;
+  gemm::sgemm(Trans::kNo, Trans::kNo, m, n, k, 0.0f, a.data(), b.data(), 1.0f,
+              c.data());
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_EQ(c[i], c0[i]);
+
+  c = c0;
+  gemm::sgemm(Trans::kNo, Trans::kNo, m, n, k, 0.0f, a.data(), b.data(), 0.0f,
+              c.data());
+  for (float v : c) EXPECT_EQ(v, 0.0f);
+}
 
 TEST(GemmTest, BetaZeroOverwritesNaNs) {
   // beta == 0 must not propagate existing NaN/garbage in C.

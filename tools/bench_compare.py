@@ -23,8 +23,14 @@ occurrence. Numeric cells are metrics; regression rules by key name:
 
 Modes:
   bench_compare.py OLD_DIR NEW_DIR [--threshold 0.10]   # diff two runs
+  bench_compare.py OLD_DIR NEW_DIR --min-speedup 4.0    # speedup gate
   bench_compare.py --check DIR                          # schema validation
   bench_compare.py --self-test                          # built-in test cases
+
+--min-speedup gates on the geometric mean of old/new over every paired
+lower-is-better metric (*_ms): the run fails (exit 1) unless NEW_DIR is at
+least that many times faster than OLD_DIR overall. Per-row thresholds are
+not applied in this mode — only the aggregate gate.
 
 Exit codes: 0 ok, 1 regression found, 2 schema/usage error.
 """
@@ -142,11 +148,14 @@ def metric_direction(key):
     return None
 
 
-def compare_dirs(old_dir, new_dir, threshold):
+def compare_dirs(old_dir, new_dir, threshold, min_speedup=None):
     old_docs = load_dir(old_dir)
     new_docs = load_dir(new_dir)
     regressions = []
     compared = 0
+    # old/new ratios of every paired lower-is-better metric, for the
+    # aggregate --min-speedup gate (geomean > 1 means new is faster).
+    speedup_ratios = []
     for name, new_doc in sorted(new_docs.items()):
         old_doc = old_docs.get(name)
         if old_doc is None:
@@ -181,6 +190,10 @@ def compare_dirs(old_dir, new_dir, threshold):
                 compared += 1
                 ratio = new_val / old_val
                 label = ", ".join("%s=%s" % kv for kv in ident)
+                if direction == "lower" and new_val > 0:
+                    speedup_ratios.append(old_val / new_val)
+                if min_speedup is not None:
+                    continue  # aggregate gate only; no per-row thresholds
                 if direction == "lower" and ratio > 1 + threshold:
                     regressions.append(
                         "%s [%s] %s: %.4g -> %.4g (+%.1f%%, threshold %.0f%%)"
@@ -191,6 +204,18 @@ def compare_dirs(old_dir, new_dir, threshold):
                         "%s [%s] %s: %.4g -> %.4g (-%.1f%%, threshold %.0f%%)"
                         % (name, label, key, old_val, new_val,
                            100 * (1 - ratio), 100 * threshold))
+    if min_speedup is not None:
+        if not speedup_ratios:
+            fail("--min-speedup: no paired *_ms metrics to compare")
+        geomean = math.exp(
+            sum(math.log(r) for r in speedup_ratios) / len(speedup_ratios))
+        print("bench_compare: geomean speedup %.2fx over %d metric(s) "
+              "(gate: >= %.2fx)" % (geomean, len(speedup_ratios), min_speedup))
+        if geomean < min_speedup:
+            print("bench_compare: REGRESSION: geomean speedup %.2fx below "
+                  "required %.2fx" % (geomean, min_speedup))
+            return 1
+        return 0
     print("bench_compare: %d metric(s) compared, %d regression(s)"
           % (compared, len(regressions)))
     for r in regressions:
@@ -274,6 +299,27 @@ def self_test():
         # Check mode accepts the valid dir.
         expect("check valid", _run_in_subprocess(check_dir, old), 0)
 
+        # --min-speedup gate: old times 10/5 ms vs new 2.5/1.25 ms is a 4x
+        # geomean; the gate passes at 4x and fails at 4.5x. speedup columns
+        # do not feed the geomean (only *_ms metrics do).
+        fast = os.path.join(tmp, "fast")
+        os.mkdir(fast)
+        _write_artifact(fast, "figX", [
+            {"policy": "undivided", "time_ms": 2.5, "speedup": 1.0},
+            {"policy": "all", "time_ms": 1.25, "speedup": 2.0},
+        ])
+        expect("min-speedup pass", _run_in_subprocess(
+            compare_dirs, old, fast, DEFAULT_THRESHOLD, 4.0), 0)
+        expect("min-speedup fail", _run_in_subprocess(
+            compare_dirs, old, fast, DEFAULT_THRESHOLD, 4.5), 1)
+        # A doctored regression (new slower than old) trips any gate >= 1.
+        expect("min-speedup doctored regression", _run_in_subprocess(
+            compare_dirs, old, new_bad, DEFAULT_THRESHOLD, 1.0), 1)
+        # Per-row thresholds are suspended in gate mode: new_bad's +50%
+        # time_ms row alone doesn't fail a sufficiently low gate.
+        expect("min-speedup ignores row thresholds", _run_in_subprocess(
+            compare_dirs, old, new_bad, DEFAULT_THRESHOLD, 0.5), 0)
+
         # Rows sharing an identity (same string cells, different numeric
         # workspace column) pair by order of occurrence: a directory compared
         # against itself is clean, and a regression in the second duplicate
@@ -340,6 +386,9 @@ def main():
                         help="validate every BENCH_*.json in DIR")
     parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
                         help="relative regression threshold (default 0.10)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="require a geomean OLD/NEW speedup of at least "
+                             "this factor over all paired *_ms metrics")
     parser.add_argument("--self-test", action="store_true",
                         help="run the built-in test cases")
     args = parser.parse_args()
@@ -354,7 +403,10 @@ def main():
         fail("expected OLD_DIR NEW_DIR (or --check DIR / --self-test)")
     if args.threshold <= 0:
         fail("--threshold must be positive")
-    sys.exit(compare_dirs(args.dirs[0], args.dirs[1], args.threshold))
+    if args.min_speedup is not None and args.min_speedup <= 0:
+        fail("--min-speedup must be positive")
+    sys.exit(compare_dirs(args.dirs[0], args.dirs[1], args.threshold,
+                          args.min_speedup))
 
 
 if __name__ == "__main__":
