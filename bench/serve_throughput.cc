@@ -27,6 +27,7 @@
 #include "bench/bench_util.h"
 #include "common/aligned_buffer.h"
 #include "serve/server.h"
+#include "telemetry/metrics.h"
 #include "tensor/tensor.h"
 
 namespace ucudnn {
@@ -238,6 +239,32 @@ int main(int argc, char** argv) {
     artifact.add_row(row);
   }
   server.drain();
+
+  // Mirror the process-wide serve histogram into the artifact so
+  // bench_compare.py gates tail latency from the metrics pipeline too (the
+  // per-round rows above are exact sorted-sample percentiles; this row is
+  // the registry's interpolated estimate over every round).
+  {
+    const telemetry::MetricsSnapshot snap =
+        telemetry::MetricsRegistry::instance().snapshot();
+    const auto it = snap.histograms.find("ucudnn.serve.e2e_ms");
+    if (it != snap.histograms.end() && it->second.count > 0) {
+      const double p50 = telemetry::histogram_percentile_ms(it->second, 0.50);
+      const double p95 = telemetry::histogram_percentile_ms(it->second, 0.95);
+      const double p99 = telemetry::histogram_percentile_ms(it->second, 0.99);
+      std::printf("\nucudnn.serve.e2e_ms histogram (all rounds): "
+                  "p50 %.3f ms  p95 %.3f ms  p99 %.3f ms  (n=%llu)\n",
+                  p50, p95, p99,
+                  static_cast<unsigned long long>(it->second.count));
+      bench::BenchRow row;
+      row.col("load", "histogram")
+          .col("e2e_p50_ms", p50)
+          .col("e2e_p95_ms", p95)
+          .col("e2e_p99_ms", p99)
+          .col("samples", static_cast<std::size_t>(it->second.count));
+      artifact.add_row(row);
+    }
+  }
 
   const serve::Server::Counters c = server.counters();
   std::printf("\nserver counters: admitted=%llu rejected=%llu expired=%llu "

@@ -7,6 +7,8 @@
 
 #include "common/env.h"
 #include "common/logging.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/trace.h"
 
 namespace ucudnn {
 namespace {
@@ -232,22 +234,44 @@ void FaultInjector::configure(const std::string& spec) {
 
 bool FaultInjector::should_fail(FaultSiteId id) {
   if (!armed()) return false;
-  MutexLock lock(mutex_);
-  check(id < sites_.size(), Status::kInvalidValue,
-        "fault site id " + std::to_string(id) + " out of range");
-  Site& site = sites_[id];
-  if (!site.spec.enabled) return false;
-  const FaultSpec& spec = site.spec;
-  FaultSiteStats& stats = site.stats;
-  ++stats.checks;
-  if (stats.triggered >= spec.count) return false;
-  if (stats.checks <= spec.after) return false;
-  bool fire = spec.every > 0 && (stats.checks - spec.after) % spec.every == 0;
-  if (!fire && spec.probability > 0.0) {
-    fire = std::uniform_real_distribution<double>(0.0, 1.0)(site.rng) <
-           spec.probability;
+  bool fire = false;
+  const char* flight_name = nullptr;
+  std::uint64_t triggered = 0;
+  {
+    MutexLock lock(mutex_);
+    check(id < sites_.size(), Status::kInvalidValue,
+          "fault site id " + std::to_string(id) + " out of range");
+    Site& site = sites_[id];
+    if (!site.spec.enabled) return false;
+    const FaultSpec& spec = site.spec;
+    FaultSiteStats& stats = site.stats;
+    ++stats.checks;
+    if (stats.triggered >= spec.count) return false;
+    if (stats.checks <= spec.after) return false;
+    fire = spec.every > 0 && (stats.checks - spec.after) % spec.every == 0;
+    if (!fire && spec.probability > 0.0) {
+      fire = std::uniform_real_distribution<double>(0.0, 1.0)(site.rng) <
+             spec.probability;
+    }
+    if (fire) {
+      triggered = ++stats.triggered;
+      if (telemetry::FlightRecorder::armed()) {
+        // Interned outside the slot protocol: the ring stores name pointers,
+        // and site names are dynamic strings.
+        flight_name = telemetry::FlightRecorder::instance().intern(site.name);
+      }
+    }
   }
-  if (fire) ++stats.triggered;
+  if (flight_name != nullptr) {
+    // Outside the injector lock: the recorder takes its own mutex for
+    // auto_dump, and a fault trigger is exactly the moment the black box
+    // must be preserved.
+    telemetry::FlightRecorder& recorder = telemetry::FlightRecorder::instance();
+    recorder.record(telemetry::FlightEventKind::kFault, flight_name,
+                    telemetry::current_trace_id(),
+                    static_cast<std::int64_t>(triggered), 0);
+    recorder.auto_dump(flight_name);
+  }
   return fire;
 }
 

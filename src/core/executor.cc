@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/timer.h"
 #include "kernels/registry.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
@@ -114,6 +115,9 @@ void Executor::run(const ExecutionPlan& plan, float alpha, const float* a,
         ++failures;
         if (failures <= options_.max_retries) {
           stats_.count_retry();
+          telemetry::FlightRecorder::note(
+              telemetry::FlightEventKind::kDegradation, "executor.retry",
+              telemetry::current_trace_id(), segment.algo, failures);
           UCUDNN_LOG_WARN << "transient kernel failure ("
                           << kernels::algo_name(type, segment.algo) << " on "
                           << sub.to_string() << "): " << e.what()
@@ -122,6 +126,14 @@ void Executor::run(const ExecutionPlan& plan, float alpha, const float* a,
           continue;
         }
         ++replans;
+        // Blacklisting is the flight recorder's "engine out" moment: record
+        // the ladder step and preserve the surrounding ring automatically.
+        telemetry::FlightRecorder::note(
+            telemetry::FlightEventKind::kDegradation, "executor.blacklist",
+            telemetry::current_trace_id(), segment.algo, replans);
+        if (telemetry::FlightRecorder::armed()) {
+          telemetry::FlightRecorder::instance().auto_dump("executor.blacklist");
+        }
         std::vector<PlanSegment> tail = replan(segment.algo, done, replans);
         segments.resize(idx);
         segments.insert(segments.end(), tail.begin(), tail.end());

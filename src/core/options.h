@@ -25,6 +25,20 @@
 //                                = off (docs/observability.md)  (unset = off)
 //   UCUDNN_TRACE_FILE            chrome://tracing JSON written at exit;
 //                                implies telemetry on           (unset = off)
+//   UCUDNN_REQUEST_TRACE_FILE    per-request timeline JSON
+//                                (ucudnn-request-trace-v1) written at exit;
+//                                implies telemetry on           (unset = off)
+//   UCUDNN_TRACE_MAX_SPANS       retained-span cap, drop-oldest; evictions
+//                                counted in ucudnn.trace.dropped (1000000)
+//   UCUDNN_FLIGHT_FILE           arm the flight recorder; dump its rings
+//                                (ucudnn-flight-v1) there at exit and on
+//                                faults/incidents
+//                                (docs/observability.md)        (unset = off)
+//   UCUDNN_FLIGHT_EVENTS         per-thread flight ring capacity, clamped to
+//                                [16, 1M]; setting it arms the recorder (4096)
+//   UCUDNN_WATCHDOG_MS           anomaly-watchdog sampling period for each
+//                                serve::Server; 0 = off
+//                                (docs/observability.md)        (0)
 //   UCUDNN_REPORT_FILE           per-handle execution report (plan explain,
 //                                estimated-vs-measured ms, workspace audit)
 //                                at handle teardown; JSON when the path ends

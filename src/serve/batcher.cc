@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstring>
 
+#include "telemetry/flight_recorder.h"
+#include "telemetry/trace.h"
+
 namespace ucudnn::serve {
 namespace {
 
@@ -50,6 +53,10 @@ MergedBatch Batcher::build(const std::vector<TicketPtr>& members) const {
                                              : batch.total;
   batch.problem = first.problem.with_batch(batch.padded);
   batch.staged = mergeable && (members.size() > 1 || batch.padded != batch.total);
+  telemetry::FlightRecorder::note(telemetry::FlightEventKind::kMark,
+                                  "serve.batch_build",
+                                  telemetry::current_trace_id(), batch.total,
+                                  batch.padded);
 
   if (!batch.staged) {
     batch.a = first.input;

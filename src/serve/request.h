@@ -113,6 +113,15 @@ class Ticket {
   void set_deadline(Clock::time_point t) noexcept { deadline_ = t; }
   Clock::time_point submitted() const noexcept { return submitted_; }
 
+  /// Process-unique request trace id (telemetry::next_trace_id), assigned by
+  /// admission before the ticket is visible to workers; 0 = untraced.
+  std::uint64_t trace_id() const noexcept { return trace_id_; }
+  void set_trace_id(std::uint64_t id) noexcept { trace_id_ = id; }
+  /// Submit time on the trace recorder's timeline (TraceRecorder::now_us),
+  /// so per-request queue spans share the span timestamp axis.
+  double submit_ts_us() const noexcept { return submit_ts_us_; }
+  void set_submit_ts_us(double ts_us) noexcept { submit_ts_us_ = ts_us; }
+
   bool expired(Clock::time_point now) const noexcept {
     return now > deadline_;
   }
@@ -122,6 +131,8 @@ class Ticket {
   // Written once by admission (before the ticket is visible to workers).
   Clock::time_point submitted_ = Clock::now();
   Clock::time_point deadline_ = Clock::time_point::max();
+  std::uint64_t trace_id_ = 0;
+  double submit_ts_us_ = 0.0;
 
   Mutex mutex_{"Ticket"};
   CondVar cv_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/flight_recorder.h"
+
 namespace ucudnn::serve {
 
 RequestQueue::RequestQueue(const ServeOptions& opts) : opts_(opts) {
@@ -27,6 +29,15 @@ int RequestQueue::level_locked() const {
   if (depth >= opts_.shed_watermark * cap) return 2;
   if (depth >= opts_.window_watermark * cap) return 1;
   return 0;
+}
+
+void RequestQueue::note_level_locked() {
+  const int level = level_locked();
+  if (level == last_level_) return;
+  telemetry::FlightRecorder::note(telemetry::FlightEventKind::kOverload,
+                                  "serve.overload_level", 0, level,
+                                  last_level_);
+  last_level_ = level;
 }
 
 std::ptrdiff_t RequestQueue::lowest_priority_locked() const {
@@ -79,6 +90,7 @@ RequestQueue::Admission RequestQueue::try_enqueue(const TicketPtr& ticket,
         queue_.erase(queue_.begin() + lowest);
       } else {
         result.status = Status::kRejected;
+        note_level_locked();
         return result;
       }
     } else {
@@ -88,11 +100,13 @@ RequestQueue::Admission RequestQueue::try_enqueue(const TicketPtr& ticket,
           queue_[static_cast<std::size_t>(lowest)]->request().priority >=
               incoming) {
         result.status = Status::kRejected;
+        note_level_locked();
         return result;
       }
     }
   }
   queue_.push_back(ticket);
+  note_level_locked();
   cv_.notify_one();
   return result;
 }
@@ -175,6 +189,7 @@ std::vector<TicketPtr> RequestQueue::next_batch(
     collect_locked(seed, max_batch, &total, &batch, expired, Clock::now());
     tighten_window();
   }
+  note_level_locked();
   return batch;
 }
 
@@ -184,6 +199,7 @@ std::vector<TicketPtr> RequestQueue::close() {
   draining_ = true;
   leftovers.assign(queue_.begin(), queue_.end());
   queue_.clear();
+  note_level_locked();
   cv_.notify_all();
   return leftovers;
 }
@@ -192,6 +208,7 @@ std::vector<TicketPtr> RequestQueue::shed_expired() {
   std::vector<TicketPtr> expired;
   MutexLock lock(mutex_);
   purge_expired_locked(Clock::now(), &expired);
+  note_level_locked();
   return expired;
 }
 

@@ -82,6 +82,10 @@ class RequestQueue {
   void purge_expired_locked(Clock::time_point now,
                             std::vector<TicketPtr>* expired) REQUIRES(mutex_);
   int level_locked() const REQUIRES(mutex_);
+  /// Records an overload-rung transition into the flight recorder (and
+  /// remembers the rung) whenever the depth-derived level moved since the
+  /// last call. Called wherever the queue was just mutated.
+  void note_level_locked() REQUIRES(mutex_);
   /// Index of the lowest-priority entry (latest arrival wins ties), or -1.
   std::ptrdiff_t lowest_priority_locked() const REQUIRES(mutex_);
   /// Moves every entry coalescible with `seed` into `batch` until the total
@@ -96,6 +100,7 @@ class RequestQueue {
   CondVar cv_;
   std::deque<TicketPtr> queue_ GUARDED_BY(mutex_);
   bool draining_ GUARDED_BY(mutex_) = false;
+  int last_level_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace ucudnn::serve

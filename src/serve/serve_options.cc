@@ -41,6 +41,7 @@ ServeOptions ServeOptions::from_env() {
   opts.shed_watermark =
       env_fraction("UCUDNN_SERVE_SHED_WATERMARK", opts.shed_watermark);
   opts.pad_to_pow2 = env_bool("UCUDNN_SERVE_PAD_POW2", opts.pad_to_pow2);
+  opts.watchdog_ms = env_int("UCUDNN_WATCHDOG_MS", opts.watchdog_ms);
   return opts;
 }
 
@@ -62,6 +63,7 @@ void ServeOptions::validate() const {
   check_param(window_watermark <= shed_watermark,
               "UCUDNN_SERVE_WINDOW_WATERMARK must not exceed "
               "UCUDNN_SERVE_SHED_WATERMARK");
+  check_param(watchdog_ms >= 0, "UCUDNN_WATCHDOG_MS must be >= 0");
 }
 
 }  // namespace ucudnn::serve

@@ -18,6 +18,8 @@
 //   UCUDNN_SERVE_PAD_POW2         pad coalesced batches to the next
 //                                 power of two (bounds the number of
 //                                 distinct plans/benchmarks)           (1)
+//   UCUDNN_WATCHDOG_MS            anomaly-watchdog sampling period in ms;
+//                                 0 disables it (docs/observability.md) (0)
 #pragma once
 
 #include <cstdint>
@@ -61,6 +63,11 @@ struct ServeOptions {
   /// plan-cache entries and benchmark cost stay O(log max_batch) instead of
   /// O(max_batch).
   bool pad_to_pow2 = true;
+  /// Anomaly-watchdog sampling period (telemetry::Watchdog over queue depth,
+  /// overload rung, est-vs-measured drift, and worker liveness); 0 = off.
+  /// Shares UCUDNN_WATCHDOG_MS with telemetry::WatchdogOptions::from_env so
+  /// one variable arms both the serve-attached and standalone watchdogs.
+  std::int64_t watchdog_ms = 0;
 
   /// Reads every field from the environment.
   static ServeOptions from_env();

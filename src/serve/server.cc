@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/trace.h"
 
 namespace ucudnn::serve {
@@ -28,6 +29,12 @@ std::int64_t retry_backoff_us(std::int64_t base_us, int attempt) {
     backoff *= 2;
   }
   return std::min(backoff, kMaxRetryBackoffUs);
+}
+
+std::int64_t steady_us() noexcept {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             Clock::now().time_since_epoch())
+      .count();
 }
 
 /// Element count of the buffer a request's `output` points at; depends on
@@ -57,7 +64,8 @@ Server::Server(core::UcudnnHandle& handle, ServeOptions opts)
       batch_site_(FaultInjector::instance().register_site(
           "serve.batch", Status::kExecutionFailed)),
       exec_site_(FaultInjector::instance().register_site(
-          "serve.exec", Status::kExecutionFailed)) {
+          "serve.exec", Status::kExecutionFailed)),
+      worker_state_(static_cast<std::size_t>(std::max(opts.workers, 0))) {
   opts_.validate();
   auto& metrics = telemetry::MetricsRegistry::instance();
   m_admitted_ = metrics.counter("ucudnn.serve.admitted");
@@ -80,7 +88,15 @@ Server::Server(core::UcudnnHandle& handle, ServeOptions opts)
     pool_ = std::make_unique<ThreadPool>(
         static_cast<std::size_t>(opts_.workers));
     for (int i = 0; i < opts_.workers; ++i) {
-      pool_->submit([this] { worker_loop(); });
+      const auto index = static_cast<std::size_t>(i);
+      pool_->submit([this, index] { worker_loop(index); });
+    }
+    if (opts_.watchdog_ms > 0) {
+      telemetry::WatchdogOptions wd;
+      wd.period_ms = opts_.watchdog_ms;
+      watchdog_ = std::make_unique<telemetry::Watchdog>(
+          wd, [this] { return watchdog_sample(); },
+          &telemetry::FlightRecorder::instance());
     }
   }
 }
@@ -89,6 +105,22 @@ Server::~Server() { drain(); }
 
 void Server::finish(const TicketPtr& ticket, Status status) {
   if (!ticket->resolve(status)) return;
+  // Per-request terminal markers: a zero-duration "serve_resolve" span on
+  // the request's timeline and a compact status transition in the black box.
+  telemetry::TraceRecorder& recorder = telemetry::TraceRecorder::instance();
+  if (recorder.enabled()) {
+    telemetry::SpanEvent event;
+    event.name = "serve_resolve";
+    event.detail = std::string(to_string(status));
+    event.ts_us = recorder.now_us();
+    event.dur_us = 0.0;
+    event.tid = telemetry::TraceRecorder::thread_ordinal();
+    event.trace_id = ticket->trace_id();
+    recorder.record(std::move(event));
+  }
+  telemetry::FlightRecorder::note(
+      telemetry::FlightEventKind::kStatus, to_string(status).data(),
+      ticket->trace_id(), static_cast<std::int64_t>(status), 0);
   m_e2e_ms_.observe_ms(ticket->latency_ms());
   switch (status) {
     case Status::kSuccess:
@@ -127,6 +159,13 @@ std::int64_t Server::effective_window_us() const {
 
 TicketPtr Server::submit(ServeRequest request) {
   auto ticket = std::make_shared<Ticket>(std::move(request));
+  // Mint the request's trace id before anything else can emit on its
+  // behalf; the ambient context scopes every admission-path span (and
+  // flight event) to it.
+  ticket->set_trace_id(telemetry::next_trace_id());
+  ticket->set_submit_ts_us(telemetry::TraceRecorder::instance().now_us());
+  const telemetry::TraceContext trace_scope(ticket->trace_id());
+  const telemetry::ScopedSpan admit_span("serve_admit");
   const double deadline_ms = ticket->request().deadline_ms > 0.0
                                  ? ticket->request().deadline_ms
                                  : opts_.default_deadline_ms;
@@ -178,7 +217,10 @@ std::size_t Server::shed_expired() {
   return stale.size();
 }
 
-void Server::worker_loop() {
+void Server::worker_loop(std::size_t worker_index) {
+  WorkerState* state = worker_index < worker_state_.size()
+                           ? &worker_state_[worker_index]
+                           : nullptr;
   for (;;) {
     std::vector<TicketPtr> stale;
     std::vector<TicketPtr> batch =
@@ -194,6 +236,11 @@ void Server::worker_loop() {
       update_load_gauges();
       continue;
     }
+    // Liveness beacon for the watchdog: busy from batch pickup to
+    // resolution, cleared on every exit path.
+    if (state != nullptr) {
+      state->busy_since_us.store(steady_us(), std::memory_order_relaxed);
+    }
     try {
       process_batch(batch);
     } catch (const std::exception& e) {
@@ -203,6 +250,9 @@ void Server::worker_loop() {
       for (const TicketPtr& ticket : batch) {
         finish(ticket, Status::kInternalError);
       }
+    }
+    if (state != nullptr) {
+      state->busy_since_us.store(0, std::memory_order_relaxed);
     }
     update_load_gauges();
   }
@@ -230,8 +280,22 @@ void Server::execute_once(const std::vector<TicketPtr>& batch) {
 
 void Server::process_batch(std::vector<TicketPtr>& batch) {
   const Clock::time_point start = Clock::now();
+  telemetry::TraceRecorder& recorder = telemetry::TraceRecorder::instance();
+  // The batch gets its own trace id (execution is shared work), scoped over
+  // everything below — serve_exec and the executor's segment spans inherit
+  // it ambiently. Member request ids are listed in the batch span's detail,
+  // and each member's timeline gets explicit queue/exec spans carrying its
+  // own id, so per-request reconstruction never needs the batch id.
+  const std::uint64_t batch_trace_id = telemetry::next_trace_id();
+  const telemetry::TraceContext trace_scope(batch_trace_id);
   telemetry::ScopedSpan span("serve_batch", [&batch] {
-    return std::to_string(batch.size()) + " request(s)";
+    std::string detail = std::to_string(batch.size()) + " request(s) members=[";
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (i > 0) detail += ",";
+      detail += std::to_string(batch[i]->trace_id());
+    }
+    detail += "]";
+    return detail;
   });
   batches_.fetch_add(1, std::memory_order_relaxed);
   m_batches_.add();
@@ -245,6 +309,20 @@ void Server::process_batch(std::vector<TicketPtr>& batch) {
             .count());
   }
   m_occupancy_.observe_ms(static_cast<double>(samples));
+  if (recorder.enabled()) {
+    // Retroactive per-member "serve_queue" spans: submit -> batch pickup,
+    // recorded on each member's own timeline.
+    const double pickup_us = recorder.now_us();
+    for (const TicketPtr& ticket : batch) {
+      telemetry::SpanEvent event;
+      event.name = "serve_queue";
+      event.ts_us = ticket->submit_ts_us();
+      event.dur_us = std::max(0.0, pickup_us - ticket->submit_ts_us());
+      event.tid = telemetry::TraceRecorder::thread_ordinal();
+      event.trace_id = ticket->trace_id();
+      recorder.record(std::move(event));
+    }
+  }
 
   // A singleton batch may execute directly into the client's output buffer
   // (no staging); with beta != 0 a failed attempt can leave it partially
@@ -260,6 +338,7 @@ void Server::process_batch(std::vector<TicketPtr>& batch) {
     output_snapshot.assign(req.output, req.output + output_elems(req));
   }
 
+  const double exec_begin_us = recorder.now_us();
   Status failure = Status::kSuccess;
   for (int attempt = 0;; ++attempt) {
     try {
@@ -294,6 +373,28 @@ void Server::process_batch(std::vector<TicketPtr>& batch) {
     }
   }
 
+  if (recorder.enabled()) {
+    // Per-member "serve_exec_request" spans covering the (retried) execution
+    // window, so each request's timeline is self-contained.
+    const double exec_end_us = recorder.now_us();
+    for (const TicketPtr& ticket : batch) {
+      telemetry::SpanEvent event;
+      event.name = "serve_exec_request";
+      event.ts_us = exec_begin_us;
+      event.dur_us = exec_end_us - exec_begin_us;
+      event.tid = telemetry::TraceRecorder::thread_ordinal();
+      event.trace_id = ticket->trace_id();
+      recorder.record(std::move(event));
+    }
+  }
+  if (watchdog_ != nullptr) {
+    // Refresh the est-vs-measured drift vital sign from the handle's
+    // execution report (report access shares the handle's exec lock).
+    MutexLock lock(exec_mutex_);
+    const double drift_pct = handle_.execution_report().estimation_error_pct();
+    last_drift_.store(drift_pct / 100.0, std::memory_order_relaxed);
+  }
+
   const double service_ms =
       std::chrono::duration<double, std::milli>(Clock::now() - start).count();
   // Lossy EWMA update: concurrent workers may clobber each other's store,
@@ -320,6 +421,9 @@ void Server::drain() {
   MutexLock lock(drain_mutex_);
   if (drained_.load(std::memory_order_acquire)) return;
   drained_.store(true, std::memory_order_release);
+  // The watchdog samples server state, so it stops before anything else is
+  // torn down (its stop() also severs the flight-recorder link).
+  watchdog_.reset();
   std::vector<TicketPtr> leftovers = queue_.close();
   for (const TicketPtr& ticket : leftovers) {
     finish(ticket, Status::kShuttingDown);
@@ -328,6 +432,24 @@ void Server::drain() {
   // and return; the pool destructor joins them.
   pool_.reset();
   update_load_gauges();
+}
+
+telemetry::WatchdogSample Server::watchdog_sample() const {
+  telemetry::WatchdogSample sample;
+  sample.queue_depth = queue_.depth();
+  sample.queue_capacity = queue_.capacity();
+  sample.overload_level = queue_.overload_level();
+  sample.service_estimate_ms = service_estimate_ms();
+  sample.est_drift = last_drift_.load(std::memory_order_relaxed);
+  const std::int64_t now_us = steady_us();
+  for (const WorkerState& state : worker_state_) {
+    const std::int64_t since = state.busy_since_us.load(std::memory_order_relaxed);
+    if (since > 0) {
+      sample.worker_busy_ms.push_back(
+          static_cast<double>(now_us - since) / 1000.0);
+    }
+  }
+  return sample;
 }
 
 Server::Counters Server::counters() const {

@@ -28,6 +28,13 @@
 // exec_failed,shutdown_failed,batches,batched_requests} counters,
 // ucudnn.serve.{queue_depth,overload_level} gauges, and
 // ucudnn.serve.{e2e_ms,queue_wait_ms,batch_occupancy} histograms.
+//
+// Tracing: submit() mints a per-request trace id (Ticket::trace_id());
+// serve_admit/serve_queue/serve_exec_request/serve_resolve spans
+// reconstruct each request's timeline across coalesced batches, and the
+// flight recorder captures overload rung changes, batch builds, and
+// resolutions. UCUDNN_WATCHDOG_MS attaches an anomaly watchdog sampling
+// watchdog_sample(). See docs/observability.md.
 #pragma once
 
 #include <atomic>
@@ -44,6 +51,7 @@
 #include "serve/request_queue.h"
 #include "serve/serve_options.h"
 #include "telemetry/metrics.h"
+#include "telemetry/watchdog.h"
 
 namespace ucudnn::serve {
 
@@ -104,8 +112,16 @@ class Server {
   }
   const ServeOptions& options() const noexcept { return opts_; }
 
+  /// The anomaly watchdog attached by ServeOptions::watchdog_ms (null when
+  /// 0 or when the server runs workerless). Valid until drain().
+  telemetry::Watchdog* watchdog() noexcept { return watchdog_.get(); }
+  /// One vital-sign snapshot (queue depth/capacity, overload rung, EWMA
+  /// estimate, est-vs-measured drift, per-worker busy times) — the sampling
+  /// callback the watchdog polls; public so tests can probe it directly.
+  telemetry::WatchdogSample watchdog_sample() const;
+
  private:
-  void worker_loop();
+  void worker_loop(std::size_t worker_index);
   void process_batch(std::vector<TicketPtr>& batch);
   /// Builds, (fault-point) executes, and scatters one merged batch.
   /// Throws on failure; the caller owns the retry ladder.
@@ -150,6 +166,22 @@ class Server {
       m_batches_, m_batched_requests_;
   telemetry::Gauge m_depth_, m_level_;
   telemetry::Histogram m_e2e_ms_, m_queue_wait_ms_, m_occupancy_;
+
+  /// Per-worker liveness: steady-clock us when the worker began its current
+  /// batch, 0 while idle. Sized once at construction, never resized (the
+  /// atomics are not movable).
+  struct WorkerState {
+    std::atomic<std::int64_t> busy_since_us{0};
+  };
+  std::vector<WorkerState> worker_state_;
+  /// |measured - estimated| / estimated from the handle's ExecutionReport,
+  /// refreshed after each batch while the watchdog is attached.
+  std::atomic<double> last_drift_{0.0};
+
+  /// Stopped and destroyed by drain() before the workers are joined, and
+  /// declared before pool_ so destructor order never leaves the sampler
+  /// probing a dead pool.
+  std::unique_ptr<telemetry::Watchdog> watchdog_;
 
   /// Last member: destroyed first, but drain() (not the pool destructor)
   /// is what unblocks the workers.

@@ -22,6 +22,7 @@
 #include "kernels/conv_problem.h"
 #include "mcudnn/mcudnn.h"
 #include "serve/server.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/metrics.h"
 
 namespace ucudnn {
@@ -341,6 +342,56 @@ TEST(ServeConcurrencyTest, EightThreadSubmitWaitStress) {
   EXPECT_TRUE(server.draining());
   EXPECT_EQ(server.counters().completed,
             static_cast<std::uint64_t>(kThreads * kIters));
+}
+
+TEST(FlightRecorderConcurrencyTest, ConcurrentWritersAndSnapshotReaders) {
+  // Eight writer threads each push 10k events into their own seqlock ring
+  // while a reader thread snapshots continuously — the interleavings TSan
+  // checks under the tsan preset. Counters must balance exactly and no
+  // snapshot may ever observe a torn (mixed-write) event.
+  constexpr std::size_t kCapacity = 256;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  telemetry::FlightRecorder recorder(kCapacity, /*dump_path=*/"");
+
+  std::atomic<bool> done{false};
+  std::atomic<int> torn{0};
+  std::thread reader([&recorder, &done, &torn] {
+    while (!done.load(std::memory_order_acquire)) {
+      for (const telemetry::FlightEvent& event : recorder.snapshot()) {
+        // Writers encode arg1 = arg0 + 1; a torn event breaks the pairing.
+        if (event.arg1 != event.arg0 + 1) torn.fetch_add(1);
+      }
+    }
+  });
+
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&recorder, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::int64_t tag =
+            static_cast<std::int64_t>(t) * kPerThread + i;
+        recorder.record(telemetry::FlightEventKind::kMark, "stress",
+                        static_cast<std::uint64_t>(t) + 1, tag, tag + 1);
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_EQ(recorder.recorded(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  // Each thread retains its last kCapacity events; the rest were dropped.
+  EXPECT_EQ(recorder.dropped(),
+            static_cast<std::uint64_t>(kThreads) * (kPerThread - kCapacity));
+  const std::vector<telemetry::FlightEvent> final_view = recorder.snapshot();
+  EXPECT_EQ(final_view.size(), static_cast<std::size_t>(kThreads) * kCapacity);
+  for (std::size_t i = 1; i < final_view.size(); ++i) {
+    EXPECT_LE(final_view[i - 1].ts_us, final_view[i].ts_us);
+  }
 }
 
 }  // namespace

@@ -309,6 +309,26 @@ def self_test() -> int:
         ("src/telemetry/metrics.cc", '#include "serve/request.h"\n', 2),
         # serve including serve is of course fine.
         ("src/serve/batcher.cc", '#include "serve/batcher.h"\n', 0),
+        # The flight recorder and watchdog are ordinary telemetry-leaf
+        # citizens: telemetry + locking-leaf includes only...
+        (
+            "src/telemetry/flight_recorder.h",
+            '#include "telemetry/metrics.h"\n'
+            '#include "common/thread_annotations.h"\n'
+            "#include <atomic>\n",
+            0,
+        ),
+        ("src/telemetry/watchdog.cc", '#include "telemetry/flight_recorder.h"\n', 0),
+        # ...never back into the stack they observe.
+        ("src/telemetry/flight_recorder.cc", '#include "common/env.h"\n', 1),
+        ("src/telemetry/watchdog.h", '#include "serve/server.h"\n', 2),
+        ("src/telemetry/flight_recorder.cc", '#include "core/executor.h"\n', 1),
+        # The serve layer and the fault injector may feed the black box.
+        ("src/serve/request_queue.cc",
+         '#include "telemetry/flight_recorder.h"\n', 0),
+        ("src/serve/server.cc", '#include "telemetry/watchdog.h"\n', 0),
+        ("src/common/fault_injection.cc",
+         '#include "telemetry/flight_recorder.h"\n', 0),
     ]
     failures = []
     for rel, text, expected in cases:
